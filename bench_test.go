@@ -1,0 +1,414 @@
+package springfs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"springfs/internal/bench"
+	"springfs/internal/blockdev"
+	"springfs/internal/naming"
+	"springfs/internal/vm"
+)
+
+// The benchmarks in this file regenerate the paper's evaluation as
+// testing.B targets; `go test -bench Table2 -benchmem` prints one line per
+// (configuration, operation, cached?) cell of Table 2. cmd/fsbench renders
+// the same measurements as the paper's table with normalised percentages.
+
+// table2Configs mirrors the three SFS implementations of Table 2.
+var table2Configs = []struct {
+	name  string
+	build func(blockdev.LatencyProfile) (*bench.Target, error)
+}{
+	{"NotStacked", bench.NewNotStacked},
+	{"StackedOneDomain", bench.NewStackedOneDomain},
+	{"StackedTwoDomains", bench.NewStackedTwoDomains},
+}
+
+// table2Ops are the measured operations; uncached variants drop every
+// cache each time they wrap the cold region.
+var table2Ops = []struct {
+	name string
+	run  func(b *testing.B, t *bench.Target)
+}{
+	{"Open", func(b *testing.B, t *bench.Target) {
+		for i := 0; i < b.N; i++ {
+			if err := t.Open(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"ReadCached", func(b *testing.B, t *bench.Target) {
+		if err := t.Read(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := t.Read(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"ReadUncached", func(b *testing.B, t *bench.Target) {
+		runCold(b, t, func(off int64) error { return t.Read(off) }, bench.FileSize/2)
+	}},
+	{"WriteCached", func(b *testing.B, t *bench.Target) {
+		if err := t.Write(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := t.Write(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"WriteUncached", func(b *testing.B, t *bench.Target) {
+		runCold(b, t, func(off int64) error { return t.Write(off) }, bench.FileSize/4)
+	}},
+	{"StatCached", func(b *testing.B, t *bench.Target) {
+		for i := 0; i < b.N; i++ {
+			if err := t.Stat(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"StatUncached", func(b *testing.B, t *bench.Target) {
+		for i := 0; i < b.N; i++ {
+			if t.DropAttrCache != nil {
+				t.DropAttrCache()
+			}
+			if err := t.Stat(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+}
+
+// runCold drives op over distinct cold blocks, re-dropping the caches each
+// time the window wraps so every iteration pays the device. If the first
+// window completes at cache speed (the configuration absorbs cold
+// operations, as unixfs's write-behind buffer cache does for full-block
+// writes), further drops are skipped: they would not change the measured
+// cost but their wall-clock time scales with b.N.
+func runCold(b *testing.B, t *bench.Target, op func(off int64) error, base int64) {
+	const window = bench.FileSize / (4 * vm.PageSize)
+	drop := t.DropDataCaches != nil
+	if drop {
+		if err := t.DropDataCaches(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	windowStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if i%window == 0 && i > 0 {
+			if time.Since(windowStart) < 2*time.Millisecond {
+				drop = false // cache-speed: re-dropping proves nothing
+			}
+			if drop {
+				b.StopTimer()
+				if err := t.DropDataCaches(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			windowStart = time.Now()
+		}
+		if err := op(base + int64(i%window)*vm.PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates every cell of Table 2.
+func BenchmarkTable2(b *testing.B) {
+	for _, cfg := range table2Configs {
+		target, err := cfg.build(blockdev.ProfileFast)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, op := range table2Ops {
+			b.Run(fmt.Sprintf("%s/%s", cfg.name, op.name), func(b *testing.B) {
+				op.run(b, target)
+			})
+		}
+		target.Close()
+	}
+}
+
+// BenchmarkTable3 regenerates the monolithic-baseline comparison: the same
+// operations on unixfs (the SunOS analogue). Compare against the
+// StackedTwoDomains rows of BenchmarkTable2.
+func BenchmarkTable3(b *testing.B) {
+	target, err := bench.NewUnixFS(blockdev.ProfileFast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer target.Close()
+	for _, op := range table2Ops {
+		b.Run(fmt.Sprintf("UnixFS/%s", op.name), func(b *testing.B) {
+			op.run(b, target)
+		})
+	}
+}
+
+// BenchmarkFigure9RemoteRead measures the full Figure 9 remote read path:
+// DFS protocol -> COMPFS uncompress -> SFS -> disk, plus the warm path
+// after CFS and the remote VMM cache the data.
+func BenchmarkFigure9RemoteRead(b *testing.B) {
+	network := NewNetwork(LANInstant)
+	home := NewNode("home")
+	defer home.Stop()
+	remote := NewNode("remote")
+	defer remote.Stop()
+	sfs, err := home.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := home.NewCompFS("compfs", true)
+	if err := comp.StackOn(sfs.FS()); err != nil {
+		b.Fatal(err)
+	}
+	l, err := network.Listen("home:dfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := home.ServeDFS("dfs", comp, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	payload := make([]byte, 64*vm.PageSize)
+	for i := range payload {
+		payload[i] = byte("compressible content "[i%21])
+	}
+	if err := WriteFile(comp, "f", payload); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := network.Dial("home:dfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := remote.DialDFS(conn, "client")
+	defer client.Close()
+	rf, err := client.Open("f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfs := remote.NewCFS("cfs")
+	f := cfs.Interpose(rf)
+
+	buf := make([]byte, vm.PageSize)
+	b.Run("ColdOverWire", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			off := int64(i%64) * vm.PageSize
+			if i%64 == 0 {
+				b.StopTimer()
+				if err := remote.VMM().DropCaches(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if _, err := f.ReadAt(buf, off); err != nil && err.Error() != "EOF" {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WarmLocalCache", func(b *testing.B) {
+		if _, err := f.ReadAt(buf, 0); err != nil && err.Error() != "EOF" {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.ReadAt(buf, 0); err != nil && err.Error() != "EOF" {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NoCFSEveryReadRemote", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rf.ReadAt(buf, 0); err != nil && err.Error() != "EOF" {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNameCache measures the Section 6.4/8 claim: name caching
+// eliminates the cross-domain overhead of opens.
+func BenchmarkNameCache(b *testing.B) {
+	node := NewNode("bench")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{SeparateDomains: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sfs.FS().Create("f", Root); err != nil {
+		b.Fatal(err)
+	}
+	clientDomain := node.NewDomain("client")
+	exported := WrapStackable(Connect(clientDomain, sfs.CohDomain), sfs.FS())
+	b.Run("WithoutCache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exported.Resolve("f", Root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WithCache", func(b *testing.B) {
+		cached := naming.NewCachingContext(exported, 128)
+		if _, err := cached.Resolve("f", Root); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cached.Resolve("f", Root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLayerAblation measures per-layer read cost as transforming
+// layers are added to the stack (the design-choice ablation DESIGN.md
+// calls out): SFS alone, +cryptfs, +compfs, +both.
+func BenchmarkLayerAblation(b *testing.B) {
+	build := func(b *testing.B, layers ...string) StackableFS {
+		node := NewNode("ablate")
+		b.Cleanup(node.Stop)
+		sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var top StackableFS = sfs.FS()
+		for _, l := range layers {
+			switch l {
+			case "crypt":
+				c, err := node.NewCryptFS("crypt", "key")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.StackOn(top); err != nil {
+					b.Fatal(err)
+				}
+				top = c
+			case "comp":
+				c := node.NewCompFS("comp", true)
+				if err := c.StackOn(top); err != nil {
+					b.Fatal(err)
+				}
+				top = c
+			}
+		}
+		return top
+	}
+	cases := []struct {
+		name   string
+		layers []string
+	}{
+		{"SFS", nil},
+		{"Crypt_SFS", []string{"crypt"}},
+		{"Comp_SFS", []string{"comp"}},
+		{"Comp_Crypt_SFS", []string{"crypt", "comp"}},
+	}
+	payload := make([]byte, 8*vm.PageSize)
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			top := build(b, tc.layers...)
+			if err := WriteFile(top, "f", payload); err != nil {
+				b.Fatal(err)
+			}
+			f, err := top.Open("f", Root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, vm.PageSize)
+			b.SetBytes(vm.PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.ReadAt(buf, int64(i%8)*vm.PageSize); err != nil && err.Error() != "EOF" {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadAhead measures the Section 8 read-ahead extension: a cold
+// sequential scan with and without page-in hints. With hints each fault
+// clusters several blocks, so the per-page cost approaches memory copy
+// speed instead of paying per-block device latency.
+func BenchmarkReadAhead(b *testing.B) {
+	for _, extra := range []int{0, 7} {
+		name := "Off"
+		if extra > 0 {
+			name = "Cluster8"
+		}
+		b.Run(name, func(b *testing.B) {
+			node := NewNode("ra")
+			defer node.Stop()
+			sfs, err := node.NewSFS("sfs0a", DiskOptions{Latency: DiskFast})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const blocks = 128
+			payload := make([]byte, blocks*vm.PageSize)
+			if err := WriteFile(sfs.FS(), "seq", payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := sfs.FS().SyncFS(); err != nil {
+				b.Fatal(err)
+			}
+			f, err := sfs.FS().Open("seq", Root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			type readAheader interface{ SetReadAhead(int) }
+			f.(readAheader).SetReadAhead(extra)
+			buf := make([]byte, vm.PageSize)
+			b.SetBytes(vm.PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := int64(i%blocks) * vm.PageSize
+				if i%blocks == 0 {
+					b.StopTimer()
+					if err := node.VMM().DropCaches(); err != nil {
+						b.Fatal(err)
+					}
+					if err := sfs.Coherency.DropDataCaches(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				if _, err := f.ReadAt(buf, off); err != nil && err.Error() != "EOF" {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMacroWorkload runs the software-build-like macro workload over
+// the three Table 2 configurations. The paper's claim under test: the
+// cross-domain open overhead "will not be significant for real
+// applications" — the end-to-end ratio between configurations stays close
+// to 1 even though the open microbenchmark shows 2x.
+func BenchmarkMacroWorkload(b *testing.B) {
+	for _, cfg := range table2Configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			target, err := cfg.build(blockdev.ProfileFast)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer target.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bench.MacroWorkload(target.Exported, fmt.Sprintf("%s-%d", cfg.name, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

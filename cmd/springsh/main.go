@@ -1,0 +1,352 @@
+// springsh is an interactive shell over a simulated Spring node: create
+// file systems, compose stacks out of the registered creators, and poke at
+// files through the naming interface — the workflow of Section 4.4 of the
+// paper, driven by hand.
+//
+//	$ go run ./cmd/springsh
+//	spring> newsfs sfs0a
+//	spring> stack compfs_creator comp fs/sfs0a
+//	spring> write comp/hello.txt hello stacked world
+//	spring> cat comp/hello.txt
+//	spring> stat comp/hello.txt
+//	spring> ls comp
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"springfs"
+	"springfs/internal/fsys"
+	"springfs/internal/interpose"
+	"springfs/internal/naming"
+)
+
+func main() {
+	node := springfs.NewNode("springsh")
+	defer node.Stop()
+	fmt.Println("springsh — extensible file systems in Spring (type 'help')")
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("spring> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := execute(node, line); quit {
+				return
+			}
+		}
+		fmt.Print("spring> ")
+	}
+}
+
+func execute(node *springfs.Node, line string) (quit bool) {
+	args := strings.Fields(line)
+	cmd := args[0]
+	fail := func(err error) {
+		fmt.Println("error:", err)
+	}
+	switch cmd {
+	case "help":
+		fmt.Print(`commands:
+  newsfs <name>                         create a disk + SFS, bound at fs/<name>
+  stack <creator> <name> <under...>     create a layer and stack it (Section 4.4)
+                                        creators: coherency_creator compfs_creator
+                                        cryptfs_creator mirrorfs_creator dfs_creator
+  creators                              list registered creators
+  ls [path]                             list a context
+  write <path> <text...>                create/overwrite a file
+  cat <path>                            print a file
+  stat <path>                           show file attributes
+  mkdir <path>                          create a directory
+  rm <path>                             remove a binding
+  sync <fs-path>                        flush a file system
+  watch <path> audit|readonly           interpose a watchdog on one file (Sec. 5)
+  quit                                  exit
+`)
+	case "quit", "exit":
+		return true
+	case "newsfs":
+		if len(args) != 2 {
+			fmt.Println("usage: newsfs <name>")
+			return
+		}
+		if _, err := node.NewSFS(args[1], springfs.DiskOptions{}); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("sfs %q assembled (coherency layer on disk layer), bound at fs/%s\n", args[1], args[1])
+	case "stack":
+		if len(args) < 4 {
+			fmt.Println("usage: stack <creator> <name> <under-path...> [key=val...]")
+			return
+		}
+		creator, name := args[1], args[2]
+		config := map[string]string{"name": name}
+		var under []springfs.StackableFS
+		for _, a := range args[3:] {
+			if k, v, ok := strings.Cut(a, "="); ok {
+				config[k] = v
+				continue
+			}
+			obj, err := node.Root().Resolve(a, springfs.Root)
+			if err != nil {
+				fail(err)
+				return
+			}
+			fs, ok := obj.(springfs.StackableFS)
+			if !ok {
+				fmt.Printf("error: %s is not a stackable file system\n", a)
+				return
+			}
+			under = append(under, fs)
+		}
+		if creator == "cryptfs_creator" && config["passphrase"] == "" {
+			config["passphrase"] = "springsh-default"
+		}
+		if _, err := node.ConfigureStack(creator, config, under, name); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("layer %q stacked and bound at /%s\n", name, name)
+	case "creators":
+		obj, err := node.Root().Resolve("fs_creators", springfs.Root)
+		if err != nil {
+			fail(err)
+			return
+		}
+		bindings, err := obj.(springfs.Context).List(springfs.Root)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, b := range bindings {
+			fmt.Println(" ", b.Name)
+		}
+	case "ls":
+		path := ""
+		if len(args) > 1 {
+			path = args[1]
+		}
+		var ctx springfs.Context = node.Root()
+		if path != "" {
+			obj, err := node.Root().Resolve(path, springfs.Root)
+			if err != nil {
+				fail(err)
+				return
+			}
+			c, ok := obj.(springfs.Context)
+			if !ok {
+				fmt.Printf("error: %s is not a context\n", path)
+				return
+			}
+			ctx = c
+		}
+		bindings, err := ctx.List(springfs.Root)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, b := range bindings {
+			kind := "file"
+			switch b.Object.(type) {
+			case springfs.StackableFS:
+				kind = "fs"
+			case springfs.Context:
+				kind = "dir"
+			case springfs.File:
+				kind = "file"
+			default:
+				kind = "obj"
+			}
+			fmt.Printf("  %-24s %s\n", b.Name, kind)
+		}
+	case "write":
+		if len(args) < 3 {
+			fmt.Println("usage: write <path> <text...>")
+			return
+		}
+		dir, name := splitPath(args[1])
+		fs, err := resolveFS(node, dir)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := springfs.WriteFile(fs, name, []byte(strings.Join(args[2:], " "))); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println("ok")
+	case "cat":
+		if len(args) != 2 {
+			fmt.Println("usage: cat <path>")
+			return
+		}
+		dir, name := splitPath(args[1])
+		fs, err := resolveFS(node, dir)
+		if err != nil {
+			fail(err)
+			return
+		}
+		data, err := springfs.ReadFile(fs, name)
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println(string(data))
+	case "stat":
+		if len(args) != 2 {
+			fmt.Println("usage: stat <path>")
+			return
+		}
+		obj, err := node.Root().Resolve(args[1], springfs.Root)
+		if err != nil {
+			fail(err)
+			return
+		}
+		f, ok := obj.(springfs.File)
+		if !ok {
+			fmt.Printf("error: %s is not a file\n", args[1])
+			return
+		}
+		attrs, err := f.Stat()
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("  length: %d\n  atime:  %s\n  mtime:  %s\n",
+			attrs.Length, attrs.AccessTime, attrs.ModifyTime)
+	case "mkdir":
+		if len(args) != 2 {
+			fmt.Println("usage: mkdir <path>")
+			return
+		}
+		dir, name := splitPath(args[1])
+		fs, err := resolveFS(node, dir)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if _, err := fs.CreateContext(name, springfs.Root); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println("ok")
+	case "rm":
+		if len(args) != 2 {
+			fmt.Println("usage: rm <path>")
+			return
+		}
+		dir, name := splitPath(args[1])
+		fs, err := resolveFS(node, dir)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := fs.Remove(name, springfs.Root); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println("ok")
+	case "watch":
+		if len(args) != 3 || (args[2] != "audit" && args[2] != "readonly") {
+			fmt.Println("usage: watch <path> audit|readonly")
+			return
+		}
+		dir, name := splitPath(args[1])
+		if dir == "" {
+			fmt.Println("error: watch needs a path inside a file system")
+			return
+		}
+		parentPath, ctxName := splitParent(dir)
+		var parent *naming.BasicContext
+		if parentPath == "" {
+			parent = node.Root()
+		} else {
+			obj, err := node.Root().Resolve(parentPath, springfs.Root)
+			if err != nil {
+				fail(err)
+				return
+			}
+			bc, ok := obj.(*naming.BasicContext)
+			if !ok {
+				fmt.Println("error: parent context does not support interposition")
+				return
+			}
+			parent = bc
+		}
+		var hooks interpose.Hooks
+		switch args[2] {
+		case "audit":
+			hooks.Observe = func(op string) { fmt.Printf("[watchdog] %s %s\n", op, args[1]) }
+		case "readonly":
+			hooks.WriteAt = func(fsys.File, []byte, int64) (int, error) {
+				return 0, fmt.Errorf("watchdog: %s is read-only", args[1])
+			}
+			hooks.SetLength = func(fsys.File, int64) error {
+				return fmt.Errorf("watchdog: %s is read-only", args[1])
+			}
+		}
+		if _, err := interpose.WatchName(parent, ctxName, name, hooks, springfs.Root); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("watchdog (%s) interposed on %s\n", args[2], args[1])
+	case "sync":
+		if len(args) != 2 {
+			fmt.Println("usage: sync <fs-path>")
+			return
+		}
+		fs, err := resolveFS(node, args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := fs.SyncFS(); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Println("ok")
+	default:
+		fmt.Printf("unknown command %q (try 'help')\n", cmd)
+	}
+	return false
+}
+
+// splitParent splits a context path into its parent path and final
+// component ("fs/sfs0a" -> ("fs", "sfs0a"); "comp" -> ("", "comp")).
+func splitParent(path string) (parent, last string) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 1 {
+		return "", parts[0]
+	}
+	return strings.Join(parts[:len(parts)-1], "/"), parts[len(parts)-1]
+}
+
+// splitPath splits "fs/sfs0a/dir/file" into the file system prefix and the
+// in-fs path. The first one or two components name the file system.
+func splitPath(path string) (fsPath, rest string) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if parts[0] == "fs" && len(parts) > 2 {
+		return parts[0] + "/" + parts[1], strings.Join(parts[2:], "/")
+	}
+	if len(parts) > 1 {
+		return parts[0], strings.Join(parts[1:], "/")
+	}
+	return "", path
+}
+
+// resolveFS resolves a path to a stackable file system.
+func resolveFS(node *springfs.Node, path string) (springfs.StackableFS, error) {
+	obj, err := node.Root().Resolve(path, springfs.Root)
+	if err != nil {
+		return nil, err
+	}
+	fs, ok := obj.(springfs.StackableFS)
+	if !ok {
+		return nil, fmt.Errorf("%s is not a stackable file system", path)
+	}
+	return fs, nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"testing"
+
+	"springfs"
+)
+
+// drive runs a scripted session against a fresh node.
+func drive(t *testing.T, lines ...string) *springfs.Node {
+	t.Helper()
+	node := springfs.NewNode("test")
+	t.Cleanup(node.Stop)
+	for _, line := range lines {
+		if quit := execute(node, line); quit {
+			t.Fatalf("command %q quit the shell", line)
+		}
+	}
+	return node
+}
+
+func TestScriptedSession(t *testing.T) {
+	node := drive(t,
+		"newsfs sfs0a",
+		"stack compfs_creator comp fs/sfs0a",
+		"write comp/hello.txt hello stacked world",
+		"mkdir fs/sfs0a/dir",
+		"ls",
+		"ls comp",
+		"cat comp/hello.txt",
+		"stat comp/hello.txt",
+		"creators",
+		"sync comp",
+		"rm comp/hello.txt",
+		"help",
+		"bogus-command",
+	)
+	// The stack is live: the layer is bound and the file removed.
+	if _, err := node.Root().Resolve("comp", springfs.Root); err != nil {
+		t.Errorf("layer not bound: %v", err)
+	}
+	if _, err := node.Root().Resolve("comp/hello.txt", springfs.Root); err == nil {
+		t.Error("removed file still resolves")
+	}
+}
+
+func TestQuit(t *testing.T) {
+	node := springfs.NewNode("test")
+	defer node.Stop()
+	if !execute(node, "quit") {
+		t.Error("quit did not quit")
+	}
+	if !execute(node, "exit") {
+		t.Error("exit did not quit")
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	tests := []struct {
+		in       string
+		fs, rest string
+	}{
+		{"fs/sfs0a/file", "fs/sfs0a", "file"},
+		{"fs/sfs0a/dir/file", "fs/sfs0a", "dir/file"},
+		{"comp/file", "comp", "file"},
+		{"file", "", "file"},
+	}
+	for _, tt := range tests {
+		fs, rest := splitPath(tt.in)
+		if fs != tt.fs || rest != tt.rest {
+			t.Errorf("splitPath(%q) = (%q, %q), want (%q, %q)", tt.in, fs, rest, tt.fs, tt.rest)
+		}
+	}
+}
+
+func TestCryptStackGetsDefaultPassphrase(t *testing.T) {
+	node := drive(t,
+		"newsfs sfs0a",
+		"stack cryptfs_creator sealed fs/sfs0a",
+		"write sealed/secret top secret content",
+		"cat sealed/secret",
+	)
+	got, err := springfs.ReadFile(mustFS(t, node, "sealed"), "secret")
+	if err != nil || string(got) != "top secret content" {
+		t.Errorf("crypt round trip = %q, %v", got, err)
+	}
+	// The base layer holds ciphertext.
+	raw, err := springfs.ReadFile(mustFS(t, node, "fs/sfs0a"), "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) == "top secret content" {
+		t.Error("plaintext below the encryption layer")
+	}
+}
+
+func mustFS(t *testing.T, node *springfs.Node, path string) springfs.StackableFS {
+	t.Helper()
+	fs, err := resolveFS(node, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWatchCommand(t *testing.T) {
+	node := drive(t,
+		"newsfs sfs0a",
+		"write fs/sfs0a/guarded important data",
+		"watch fs/sfs0a/guarded readonly",
+	)
+	obj, err := node.Root().Resolve("fs/sfs0a/guarded", springfs.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := obj.(springfs.File)
+	if _, err := f.WriteAt([]byte("tamper"), 0); err == nil {
+		t.Error("write through watchdog succeeded")
+	}
+	got := make([]byte, 14)
+	if _, err := f.ReadAt(got, 0); err != nil && err.Error() != "EOF" {
+		t.Fatal(err)
+	}
+	if string(got) != "important data" {
+		t.Errorf("read = %q", got)
+	}
+}

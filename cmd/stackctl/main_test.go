@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestExampleConfigParses(t *testing.T) {
+	var cfg Config
+	if err := json.Unmarshal([]byte(example), &cfg); err != nil {
+		t.Fatalf("the embedded example does not parse: %v", err)
+	}
+	if len(cfg.Disks) != 2 || len(cfg.Layers) != 3 || len(cfg.Export) != 1 {
+		t.Errorf("example shape: %+v", cfg)
+	}
+}
+
+func TestBuildExampleStack(t *testing.T) {
+	var cfg Config
+	if err := json.Unmarshal([]byte(example), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(cfg); err != nil {
+		t.Fatalf("building the example stack: %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"unknown underlying fs", Config{
+			Layers: []struct {
+				Name    string            `json:"name"`
+				Creator string            `json:"creator"`
+				On      []string          `json:"on"`
+				Config  map[string]string `json:"config"`
+			}{{Name: "l", Creator: "compfs_creator", On: []string{"nope"}}},
+		}},
+		{"unknown creator", Config{
+			Disks: []struct {
+				Name   string `json:"name"`
+				Blocks int64  `json:"blocks"`
+			}{{Name: "d"}},
+			Layers: []struct {
+				Name    string            `json:"name"`
+				Creator string            `json:"creator"`
+				On      []string          `json:"on"`
+				Config  map[string]string `json:"config"`
+			}{{Name: "l", Creator: "bogus_creator", On: []string{"d"}}},
+		}},
+		{"unknown export", Config{Export: []string{"ghost"}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := build(tt.cfg); err == nil {
+				t.Error("build succeeded, want error")
+			}
+		})
+	}
+}

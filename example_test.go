@@ -1,0 +1,134 @@
+package springfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"springfs"
+)
+
+// The quickstart: a node, an SFS, a file.
+func Example() {
+	node := springfs.NewNode("example")
+	defer node.Stop()
+
+	sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := springfs.WriteFile(sfs.FS(), "hello.txt", []byte("hello, spring")); err != nil {
+		log.Fatal(err)
+	}
+	data, err := springfs.ReadFile(sfs.FS(), "hello.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	// Output: hello, spring
+}
+
+// Stacking layers with the Section 4.4 recipe: the creator is looked up in
+// the well-known /fs_creators context, an instance is created, stacked,
+// and bound into the name space.
+func ExampleNode_ConfigureStack() {
+	node := springfs.NewNode("example")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	layer, err := node.ConfigureStack("compfs_creator",
+		map[string]string{"name": "compfs"},
+		[]springfs.StackableFS{sfs.FS()}, "compfs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(layer.FSName(), "stacked on", sfs.FS().FSName())
+	// Files created through the layer are reachable by name.
+	if err := springfs.WriteFile(layer, "doc", []byte("transparent")); err != nil {
+		log.Fatal(err)
+	}
+	obj, err := node.Root().Resolve("compfs/doc", springfs.Root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, isFile := obj.(springfs.File)
+	fmt.Println("resolved through the name space:", isFile)
+	// Output:
+	// compfs stacked on sfs0a
+	// resolved through the name space: true
+}
+
+// Composing several layers bottom-up with Stack.
+func ExampleStack() {
+	node := springfs.NewNode("example")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	crypt, err := node.NewCryptFS("crypt", "passphrase")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp := node.NewCompFS("comp", true)
+	top, err := springfs.Stack(sfs.FS(), crypt, comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top of the stack:", top.FSName())
+	// Output: top of the stack: comp
+}
+
+// Watchdog-style per-file interposition (Section 5 of the paper).
+func ExampleWatch() {
+	node := springfs.NewNode("example")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := sfs.FS().Create("audited", springfs.Root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := springfs.Watch(f, springfs.WatchdogHooks{
+		Observe: func(op string) { fmt.Println("watchdog saw:", op) },
+	})
+	if _, err := w.WriteAt([]byte("x"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Stat(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// watchdog saw: write
+	// watchdog saw: stat
+}
+
+// A POSIX-style process over a stack (the Spring UNIX emulation adapter).
+func ExampleNewProcess() {
+	node := springfs.NewNode("example")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := springfs.NewProcess(sfs.FS())
+	if err := p.Mkdir("/etc"); err != nil {
+		log.Fatal(err)
+	}
+	fd, err := p.Creat("/etc/motd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("welcome to spring")); err != nil {
+		log.Fatal(err)
+	}
+	st, err := p.Fstat(fd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("motd:", st.Size, "bytes")
+	// Output: motd: 17 bytes
+}

@@ -1,0 +1,153 @@
+package springfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/vm"
+)
+
+// TestDeviceFailurePropagatesThroughStack verifies that an I/O error at
+// the bottom of a three-layer stack surfaces to the client as an error,
+// not as silent corruption, and that the stack recovers when the device
+// does.
+func TestDeviceFailurePropagatesThroughStack(t *testing.T) {
+	node := NewNode("fail")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := node.NewCompFS("comp", true)
+	if err := comp.StackOn(sfs.FS()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := comp.Create("f", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 8*vm.PageSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.SyncFS(); err != nil {
+		t.Fatal(err)
+	}
+	// Go cold, then kill the device: reads must fail loudly.
+	if err := node.VMM().DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfs.Coherency.DropDataCaches(); err != nil {
+		t.Fatal(err)
+	}
+	sfs.Device.FailReads(true)
+	buf := make([]byte, 64)
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, blockdev.ErrIO) {
+		t.Errorf("read with dead device = %v, want ErrIO", err)
+	}
+	// Recovery: heal the device and retry.
+	sfs.Device.FailReads(false)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Errorf("read after recovery: %v", err)
+	}
+}
+
+// TestWriteFailureDoesNotCorrupt verifies that when the device starts
+// rejecting writes mid-flush, the error reaches the caller and previously
+// synced data remains readable.
+func TestWriteFailureDoesNotCorrupt(t *testing.T) {
+	node := NewNode("fail-w")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sfs.FS().Create("stable", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("committed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Now writes start failing; an attempted update must error out on
+	// sync rather than vanish.
+	sfs.Device.FailWrites(true)
+	if _, err := f.WriteAt([]byte("DOOMED!!!"), 4096); err != nil {
+		// Write-behind may absorb it; the failure must then surface on
+		// sync below.
+		t.Logf("write failed eagerly: %v", err)
+	}
+	if err := sfs.FS().SyncFS(); !errors.Is(err, blockdev.ErrIO) {
+		t.Errorf("SyncFS with dead device = %v, want ErrIO", err)
+	}
+	sfs.Device.FailWrites(false)
+	// The committed bytes survived.
+	buf := make([]byte, 9)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "committed" {
+		t.Errorf("committed data = %q", buf)
+	}
+	if err := sfs.FS().SyncFS(); err != nil {
+		t.Errorf("sync after recovery: %v", err)
+	}
+	if err := sfs.Disk.CheckConsistency(); err != nil {
+		t.Errorf("fsck after failure cycle: %v", err)
+	}
+}
+
+// TestIntermittentFailureUnderLoad runs writes while the device fails
+// after a budget of operations, then heals it and verifies the file system
+// still works and passes its consistency check.
+func TestIntermittentFailureUnderLoad(t *testing.T) {
+	node := NewNode("fail-i")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfs.Device.FailAfter(200)
+	var firstErr error
+	for i := 0; i < 64 && firstErr == nil; i++ {
+		name := "f" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		f, err := sfs.FS().Create(name, Root)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if _, err := f.WriteAt(make([]byte, 2*vm.PageSize), 0); err != nil {
+			firstErr = err
+			break
+		}
+		if err := f.Sync(); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("the injected failure never fired")
+	}
+	if !errors.Is(firstErr, blockdev.ErrIO) {
+		t.Errorf("failure surfaced as %v, want ErrIO", firstErr)
+	}
+	// Heal and keep going.
+	sfs.Device.FailAfter(-1)
+	f, err := sfs.FS().Create("after-heal", Root)
+	if err != nil {
+		t.Fatalf("create after heal: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("recovered"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfs.FS().SyncFS(); err != nil {
+		t.Fatalf("sync after heal: %v", err)
+	}
+	if err := sfs.Disk.CheckConsistency(); err != nil {
+		t.Errorf("fsck after intermittent failures: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module springfs
+
+go 1.22

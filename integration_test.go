@@ -1,0 +1,476 @@
+package springfs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"springfs/internal/coherency"
+	"springfs/internal/naming"
+	"springfs/internal/vm"
+)
+
+// TestFigure9WalkThrough reproduces the Section 4.5 walk-through: DFS
+// stacked on COMPFS stacked on SFS. A name lookup arrives through the
+// private DFS protocol and resolves down the stack; a remote read request
+// results in DFS issuing a page-in, COMPFS uncompressing, SFS reading the
+// disk, and DFS sending the data back through the protocol. The test
+// verifies each step by its observable side effects.
+func TestFigure9WalkThrough(t *testing.T) {
+	network := NewNetwork(LANInstant)
+	home := NewNode("home")
+	defer home.Stop()
+	remote := NewNode("remote")
+	defer remote.Stop()
+
+	// Build the stack: dfs -> compfs -> sfs (coherency -> disk).
+	sfs, err := home.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := home.NewCompFS("compfs", true)
+	if err := comp.StackOn(sfs.FS()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := network.Listen("home:dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := home.ServeDFS("dfs", comp, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	corpus := []byte(strings.Repeat("walk-through payload ", 1000))
+	if err := WriteFile(comp, "file", corpus); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.SyncFS(); err != nil {
+		t.Fatal(err)
+	}
+	// Make the home caches cold so the remote read demonstrably reaches
+	// the disk.
+	if err := home.VMM().DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfs.Coherency.DropDataCaches(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := network.Dial("home:dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := remote.DialDFS(conn, "remote-client")
+	defer client.Close()
+
+	// Step 1: "a name lookup arrives through the private DFS protocol;
+	// DFS resolves the file in its underlying file system; COMPFS in turn
+	// resolves the file in SFS."
+	rf, err := client.Open("file")
+	if err != nil {
+		t.Fatalf("remote lookup: %v", err)
+	}
+	if srv.RemoteOps.Value() == 0 {
+		t.Error("lookup did not travel the protocol")
+	}
+
+	// Step 2: a remote read pages the data up through every layer.
+	reads0, _ := sfs.Device.IOCount()
+	lowerPageIns0 := sfs.Coherency.LowerPageIns.Value()
+
+	cfs := remote.NewCFS("cfs")
+	f := cfs.Interpose(rf)
+	m, err := remote.VMM().Map(f, RightsRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, corpus[:64]) {
+		t.Errorf("remote mapped read = %q", got[:21])
+	}
+
+	// SFS read the disk...
+	reads1, _ := sfs.Device.IOCount()
+	if reads1 == reads0 {
+		t.Error("the read never reached the disk")
+	}
+	// ...through the coherency layer's connection to the disk layer...
+	if sfs.Coherency.LowerPageIns.Value() == lowerPageIns0 {
+		t.Error("the read bypassed the coherency layer's lower connection")
+	}
+	// ...COMPFS uncompressed (the data differs from the on-disk bytes)...
+	lower, err := sfs.FS().Open("file", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 64)
+	if _, err := lower.ReadAt(raw, 4096); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("walk-through")) {
+		t.Error("underlying file holds plaintext; COMPFS did not transform")
+	}
+	// ...and the data crossed the network.
+	if network.Bytes.Value() == 0 {
+		t.Error("no network traffic recorded")
+	}
+
+	// Step 3: "at any point the underlying data may be accessed through
+	// file_COMP or (uncompressed) through file_SFS; all such accesses will
+	// be coherent with each other and with remote DFS clients." Write
+	// locally through COMPFS and observe remotely.
+	update := []byte(strings.ToUpper(string(corpus[:64])))
+	if err := WriteFile(comp, "file", update); err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, 21)
+	if _, err := m.ReadAt(got2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "WALK-THROUGH PAYLOAD " {
+		t.Errorf("remote read after local write = %q", got2)
+	}
+}
+
+// TestFigure10SFS verifies the Spring SFS structure: the coherency layer
+// stacked on the disk layer, with all files exported via the coherency
+// layer, in both domain placements; and that the two-domain placement
+// actually routes layer traffic across domains.
+func TestFigure10SFS(t *testing.T) {
+	for _, separate := range []bool{false, true} {
+		name := map[bool]string{false: "one domain", true: "two domains"}[separate]
+		t.Run(name, func(t *testing.T) {
+			node := NewNode("fig10")
+			defer node.Stop()
+			sfs, err := node.NewSFS("sfs0a", DiskOptions{SeparateDomains: separate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The exported layer is the coherency layer.
+			if _, ok := interface{}(sfs.FS()).(*coherency.CohFS); !ok {
+				t.Errorf("exported layer is %T", sfs.FS())
+			}
+			if err := WriteFile(sfs.FS(), "f", []byte("via coherency layer")); err != nil {
+				t.Fatal(err)
+			}
+			if err := sfs.FS().SyncFS(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(sfs.FS(), "f")
+			if err != nil || string(got) != "via coherency layer" {
+				t.Fatalf("round trip = %q, %v", got, err)
+			}
+			if separate {
+				if sfs.DiskDomain == sfs.CohDomain {
+					t.Fatal("domains not separated")
+				}
+				if sfs.DiskDomain.Invocations.Value() == 0 {
+					t.Error("no invocations crossed into the disk layer's domain")
+				}
+			} else if sfs.DiskDomain != sfs.CohDomain {
+				t.Fatal("domains unexpectedly separated")
+			}
+		})
+	}
+}
+
+// TestDeepStackPersistence drives a four-layer stack (compfs -> cryptfs ->
+// coherency -> disk) through writes, a simulated shutdown (sync +
+// remount), and verifies the data survives and remains transformed on
+// disk.
+func TestDeepStackPersistence(t *testing.T) {
+	node := NewNode("deep")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypt, err := node.NewCryptFS("crypt", "deep-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := node.NewCompFS("comp", true)
+	top, err := Stack(sfs.FS(), crypt, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("deep stack data ", 2000))
+	if err := WriteFile(top, "payload", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.SyncFS(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfs.Disk.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": a fresh node over the same device, same stack, same key.
+	node2 := NewNode("deep2")
+	defer node2.Stop()
+	sfs2, err := node2.MountSFS("sfs0a", sfs.Device, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypt2, err := node2.NewCryptFS("crypt", "deep-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2 := node2.NewCompFS("comp", true)
+	top2, err := Stack(sfs2.FS(), crypt2, comp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(top2, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted across remount")
+	}
+	// The base layer holds neither plaintext nor a valid COMPFS image in
+	// the clear (it is encrypted).
+	raw, err := ReadFile(sfs2.FS(), "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("deep stack")) {
+		t.Error("plaintext on the base layer")
+	}
+	// With the wrong key, the stack cannot make sense of the data.
+	wrongKey, err := node2.NewCryptFS("crypt-bad", "not-the-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongKey.StackOn(sfs2.FS()); err != nil {
+		t.Fatal(err)
+	}
+	compBad := node2.NewCompFS("comp-bad", true)
+	if err := compBad.StackOn(wrongKey); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := ReadFile(compBad, "payload"); err == nil && bytes.Equal(data, payload) {
+		t.Error("wrong key read the correct payload")
+	}
+}
+
+// TestNamespaceArrangement exercises the administrative flexibility of
+// Figure 3: the same layers exposed (or hidden) by binding choices in the
+// name space.
+func TestNamespaceArrangement(t *testing.T) {
+	node := NewNode("ns")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A compression layer stacked but deliberately NOT exported: clients
+	// can reach the base but not the layer.
+	hidden := node.NewCompFS("hidden-comp", true)
+	if err := hidden.StackOn(sfs.FS()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Root().Resolve("hidden-comp", Root); err == nil {
+		t.Error("unexported layer is visible in the name space")
+	}
+	// Export it under two different names: both resolve to the same
+	// instance.
+	if err := node.Root().Bind("compA", hidden, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Root().Bind("compB", hidden, Root); err != nil {
+		t.Fatal(err)
+	}
+	a, err := node.Root().Resolve("compA", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bObj, err := node.Root().Resolve("compB", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != bObj {
+		t.Error("two bindings of one layer resolve differently")
+	}
+	// Unbinding one name keeps the other working.
+	if err := node.Root().Unbind("compA", Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Root().Resolve("compB", Root); err != nil {
+		t.Error("second binding broken by unbinding the first")
+	}
+}
+
+// TestEvictionThroughStack verifies memory pressure at the VMM composes
+// with the coherency protocol: with a tiny page budget, a working set
+// larger than memory still reads/writes correctly (dirty pages are paged
+// out to the coherency layer and refaulted).
+func TestEvictionThroughStack(t *testing.T) {
+	node := NewNode("evict")
+	defer node.Stop()
+	node.VMM().SetMaxPages(8)
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sfs.FS().Create("big", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 64
+	buf := make([]byte, vm.PageSize)
+	for i := int64(0); i < blocks; i++ {
+		buf[0] = byte(i)
+		if _, err := f.WriteAt(buf, i*vm.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := node.VMM().ResidentPages(); got > 8 {
+		t.Errorf("resident pages = %d, want <= 8", got)
+	}
+	if node.VMM().Evictions.Value() == 0 {
+		t.Error("no evictions under memory pressure")
+	}
+	for i := int64(0); i < blocks; i++ {
+		if _, err := f.ReadAt(buf, i*vm.PageSize); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("block %d = %d after eviction", i, buf[0])
+		}
+	}
+}
+
+// TestPerUserNamespaces exercises the Section 3.2 properties end to end:
+// all domains share part of their name space, each can customise its own
+// view, and exposure of a file system is an ACL-guarded administrative
+// decision.
+func TestPerUserNamespaces(t *testing.T) {
+	node := NewNode("users")
+	defer node.Stop()
+	sfs, err := node.NewSFS("shared-sfs", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alice := node.NewUserNamespace()
+	bob := node.NewUserNamespace()
+
+	// Shared part: both see /fs/shared-sfs from the node root.
+	for i, ns := range []Context{alice, bob} {
+		if _, err := ns.Resolve("fs/shared-sfs", Root); err != nil {
+			t.Errorf("user %d cannot see the shared file system: %v", i, err)
+		}
+	}
+
+	// Customisation: alice binds her own compression layer at /mine;
+	// bob's view is unaffected.
+	comp := node.NewCompFS("alice-comp", true)
+	if err := comp.StackOn(sfs.FS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Bind("mine", comp, Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Resolve("mine", Root); err != nil {
+		t.Errorf("alice cannot see her binding: %v", err)
+	}
+	if _, err := bob.Resolve("mine", Root); err == nil {
+		t.Error("bob sees alice's private binding")
+	}
+
+	// Shadowing: alice overlays /fs with her own context; bob still gets
+	// the shared one.
+	private := naming.NewContext()
+	if err := alice.Bind("fs", private, Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Resolve("fs/shared-sfs", Root); err == nil {
+		t.Error("alice's shadowed /fs still resolves the shared binding")
+	}
+	if _, err := bob.Resolve("fs/shared-sfs", Root); err != nil {
+		t.Errorf("bob lost the shared binding: %v", err)
+	}
+
+	// ACL-guarded export: only carol may resolve through the guarded
+	// context.
+	guarded, err := node.ExportTo("secret-fs", sfs.FS(), "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := guarded.Resolve("secret-fs", Credential("carol")); err != nil {
+		t.Errorf("carol denied: %v", err)
+	}
+	if _, err := guarded.Resolve("secret-fs", Credential("mallory")); err == nil {
+		t.Error("mallory resolved through the guarded context")
+	}
+}
+
+// TestArbitraryStackCompositions assembles every ordering of the
+// transforming layers over SFS and round-trips data through each — the
+// composability promise of the architecture.
+func TestArbitraryStackCompositions(t *testing.T) {
+	perms := [][]string{
+		{"comp"}, {"crypt"}, {"comp", "crypt"}, {"crypt", "comp"},
+		{"crypt", "comp", "coh"}, {"comp", "crypt", "coh"},
+	}
+	payload := []byte(strings.Repeat("compose all the layers ", 800))
+	for _, perm := range perms {
+		name := strings.Join(perm, "-")
+		t.Run(name, func(t *testing.T) {
+			node := NewNode("compose")
+			defer node.Stop()
+			sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var top StackableFS = sfs.FS()
+			for _, l := range perm {
+				var layer StackableFS
+				switch l {
+				case "comp":
+					layer = node.NewCompFS("comp-"+name, true)
+				case "crypt":
+					c, err := node.NewCryptFS("crypt-"+name, "key-"+name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					layer = c
+				case "coh":
+					layer = node.NewCoherencyLayer("coh-" + name)
+				}
+				if err := layer.StackOn(top); err != nil {
+					t.Fatal(err)
+				}
+				top = layer
+			}
+			if err := WriteFile(top, "data", payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := top.SyncFS(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(top, "data")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Error("round trip failed")
+			}
+			// Transforming stacks must not leak plaintext to the base.
+			raw, err := ReadFile(sfs.FS(), "data")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(raw, []byte("compose all")) {
+				t.Error("plaintext at the base layer")
+			}
+		})
+	}
+}

@@ -1,0 +1,525 @@
+// Package bench assembles the file system configurations measured in the
+// paper's evaluation (Section 6.4) and provides the per-operation
+// measurement code shared by cmd/fsbench and the repository's testing.B
+// benchmarks.
+//
+// Table 2 measures opening, reading (4 KB), writing (4 KB), and getting
+// the attributes of a file stored on the local disk, for three
+// implementations of the SFS:
+//
+//   - not stacked (no stacking overhead): the disk layer used directly,
+//     with the VMM caching data and the i-node cache serving stat;
+//   - stacked, both layers in one domain;
+//   - stacked, the two layers in different domains.
+//
+// Table 3 compares against SunOS 4.1.3; the analogue here is the
+// monolithic unixfs baseline (direct function calls onto a buffer cache).
+//
+// Absolute numbers are not comparable to the paper's 1993 hardware; the
+// harness reproduces the *shape*: no stacking overhead on cached data
+// operations, a noticeable same-domain open overhead, roughly 2x opens
+// across domains, stacking noise swamped by the device on uncached
+// operations, and a tuned monolithic baseline beating the stacked
+// microkernel configuration.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/coherency"
+	"springfs/internal/disklayer"
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/unixfs"
+	"springfs/internal/vm"
+)
+
+// FileSize is the size of the benchmark file; uncached rows walk distinct
+// 4 KB blocks of it. It fits within every configuration's maximum file
+// size (unixfs caps at direct+single-indirect pointers, ~2.1 MB).
+const FileSize = 2 << 20 // 512 blocks
+
+// BenchFile is the single-component name the open benchmark resolves.
+const BenchFile = "bench.dat"
+
+// Target is one benchmarkable file system configuration.
+type Target struct {
+	// Name labels the configuration ("not stacked", ...).
+	Name string
+
+	// Open resolves BenchFile by name through the exported layer.
+	Open func() error
+	// Read reads 4 KB at off.
+	Read func(off int64) error
+	// Write writes 4 KB at off.
+	Write func(off int64) error
+	// Stat fetches the file's attributes.
+	Stat func() error
+	// DropAttrCache invalidates cached attributes (nil when the
+	// configuration has no invalidatable attribute cache).
+	DropAttrCache func()
+	// Close tears the configuration down.
+	Close func()
+
+	// DropDataCaches makes every cache in the configuration cold (VMM
+	// pages, coherency-layer blocks, buffer cache). Nil when nothing is
+	// droppable.
+	DropDataCaches func() error
+
+	// Exported is the client-side view of the file system (nil for the
+	// monolithic baseline); the macro workload drives it.
+	Exported fsys.StackableFS
+
+	// Device is the underlying simulated disk (I/O accounting).
+	Device *blockdev.MemDevice
+}
+
+// newDevice formats a device big enough for the benchmark file.
+func newDevice(latency blockdev.LatencyProfile) (*blockdev.MemDevice, error) {
+	dev := blockdev.NewMem(4096, latency)
+	if err := disklayer.Mkfs(dev, disklayer.MkfsOptions{}); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+// prepareFile creates and preallocates the benchmark file on fs.
+func prepareFile(fs fsys.FS) (fsys.File, error) {
+	f, err := fs.Create(BenchFile, naming.Root)
+	if err != nil {
+		return nil, err
+	}
+	// Preallocate so uncached reads hit real blocks.
+	buf := make([]byte, 64*vm.PageSize)
+	for off := int64(0); off < FileSize; off += int64(len(buf)) {
+		if _, err := f.WriteAt(buf, off); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// fileOps wires a Target's per-operation closures for an already-open
+// file plus an exported context for opens.
+func fileOps(t *Target, ctx naming.Context, f fsys.File) {
+	buf := make([]byte, vm.PageSize)
+	t.Open = func() error {
+		obj, err := ctx.Resolve(BenchFile, naming.Root)
+		if err != nil {
+			return err
+		}
+		_, err = fsys.AsFile(obj)
+		return err
+	}
+	t.Read = func(off int64) error {
+		_, err := f.ReadAt(buf, off)
+		if err == io.EOF {
+			err = nil
+		}
+		return err
+	}
+	t.Write = func(off int64) error {
+		_, err := f.WriteAt(buf, off)
+		return err
+	}
+	t.Stat = func() error {
+		_, err := f.Stat()
+		return err
+	}
+}
+
+// NewNotStacked builds the no-stacking-overhead configuration: the disk
+// layer used directly (the VMM still caches data; the i-node and directory
+// caches serve opens and stats without disk I/O).
+func NewNotStacked(latency blockdev.LatencyProfile) (*Target, error) {
+	node := spring.NewNode("bench-notstacked")
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	dev, err := newDevice(latency)
+	if err != nil {
+		return nil, err
+	}
+	fsDomain := spring.NewDomain(node, "disk")
+	disk, err := disklayer.Mount(dev, fsDomain, vmm, "disk0a")
+	if err != nil {
+		return nil, err
+	}
+	f, err := prepareFile(disk)
+	if err != nil {
+		return nil, err
+	}
+	// The client lives in its own domain and invokes on the file system
+	// server through the stub layer, exactly like the stacked
+	// configurations' clients do — the paper's measurements compare how
+	// the server is structured internally, not where the client sits.
+	clientDomain := spring.NewDomain(node, "client")
+	exported := fsys.WrapStackable(spring.Connect(clientDomain, fsDomain), disk)
+	clientFile := fsys.NewFileProxy(spring.Connect(clientDomain, fsDomain), f)
+	t := &Target{
+		Name:           "not stacked",
+		Device:         dev,
+		Close:          node.Stop,
+		DropDataCaches: vmm.DropCaches,
+		Exported:       exported,
+	}
+	fileOps(t, exported, clientFile)
+	return t, nil
+}
+
+// newStacked builds SFS (coherency on disk) with the layers in one or two
+// domains, returning the target plus the coherency layer for attribute
+// invalidation.
+func newStacked(latency blockdev.LatencyProfile, twoDomains bool) (*Target, error) {
+	name := "stacked, one domain"
+	if twoDomains {
+		name = "stacked, two domains"
+	}
+	node := spring.NewNode("bench-stacked")
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	dev, err := newDevice(latency)
+	if err != nil {
+		return nil, err
+	}
+	diskDomain := spring.NewDomain(node, "disk")
+	cohDomain := diskDomain
+	if twoDomains {
+		cohDomain = spring.NewDomain(node, "coherency")
+	}
+	disk, err := disklayer.Mount(dev, diskDomain, vmm, "disk0a")
+	if err != nil {
+		return nil, err
+	}
+	coh := coherency.New(cohDomain, vmm, "sfs")
+	var under fsys.StackableFS = disk
+	if twoDomains {
+		under = fsys.WrapStackable(spring.Connect(cohDomain, diskDomain), disk)
+	}
+	if err := coh.StackOn(under); err != nil {
+		return nil, err
+	}
+	// Clients live in their own domain and talk to the coherency layer
+	// through the invocation channel, like real Spring clients would. The
+	// exported context is what the client resolves through.
+	clientDomain := spring.NewDomain(node, "client")
+	exported := fsys.WrapStackable(spring.Connect(clientDomain, cohDomain), coh)
+
+	f, err := prepareFile(coh)
+	if err != nil {
+		return nil, err
+	}
+	// The client's handle to the file crosses into the coherency layer's
+	// domain exactly when the layers are placed apart from the client.
+	clientFile := fsys.NewFileProxy(spring.Connect(clientDomain, cohDomain), f)
+
+	t := &Target{
+		Name:          name,
+		Device:        dev,
+		Close:         node.Stop,
+		DropAttrCache: coh.InvalidateAttrCaches,
+		DropDataCaches: func() error {
+			if err := vmm.DropCaches(); err != nil {
+				return err
+			}
+			return coh.DropDataCaches()
+		},
+		Exported: exported,
+	}
+	fileOps(t, exported, clientFile)
+	return t, nil
+}
+
+// NewStackedOneDomain builds SFS with both layers in one domain.
+func NewStackedOneDomain(latency blockdev.LatencyProfile) (*Target, error) {
+	return newStacked(latency, false)
+}
+
+// NewStackedTwoDomains builds SFS with the layers in different domains.
+func NewStackedTwoDomains(latency blockdev.LatencyProfile) (*Target, error) {
+	return newStacked(latency, true)
+}
+
+// NewUnixFS builds the monolithic baseline (Table 3's SunOS analogue).
+func NewUnixFS(latency blockdev.LatencyProfile) (*Target, error) {
+	dev := blockdev.NewMem(4096, latency)
+	if err := unixfs.Mkfs(dev); err != nil {
+		return nil, err
+	}
+	ufs, err := unixfs.Mount(dev)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ufs.Create(BenchFile)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*unixfs.BlockSize)
+	for off := int64(0); off < FileSize; off += int64(len(buf)) {
+		if _, err := f.WriteAt(buf, off); err != nil {
+			return nil, err
+		}
+	}
+	if err := ufs.Sync(); err != nil {
+		return nil, err
+	}
+	page := make([]byte, unixfs.BlockSize)
+	t := &Target{Name: "unixfs (monolithic)", Device: dev, Close: func() {},
+		DropDataCaches: ufs.DropCaches}
+	t.Open = func() error {
+		_, err := ufs.Open(BenchFile)
+		return err
+	}
+	t.Read = func(off int64) error {
+		_, err := f.ReadAt(page, off)
+		if err == io.EOF {
+			err = nil
+		}
+		return err
+	}
+	t.Write = func(off int64) error {
+		_, err := f.WriteAt(page, off)
+		return err
+	}
+	t.Stat = func() error {
+		_, err := f.Stat()
+		return err
+	}
+	return t, nil
+}
+
+// Measure runs fn n times and returns the mean per-operation duration. A
+// GC cycle runs first so allocation debt from setup (e.g. preallocating
+// the benchmark file) is not charged to the measured operations.
+func Measure(n int, fn func(i int) error) (time.Duration, error) {
+	runtime.GC()
+	// Warm up the code path (scheduler, allocator) outside the window.
+	warm := n / 100
+	if warm > 16 {
+		warm = 16
+	}
+	for i := 0; i < warm; i++ {
+		if err := fn(i); err != nil {
+			return 0, fmt.Errorf("warmup %d: %w", i, err)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return 0, fmt.Errorf("iteration %d: %w", i, err)
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// MeasureBest runs Measure over `trials` batches and returns the fastest
+// mean — the standard way to strip scheduler noise from latency
+// microbenchmarks. Iterations that walk state (cold-block rows) must use
+// plain Measure instead, since repeating them would re-touch warm blocks.
+func MeasureBest(trials, n int, fn func(i int) error) (time.Duration, error) {
+	best := time.Duration(0)
+	for t := 0; t < trials; t++ {
+		d, err := Measure(n, fn)
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Row is one measured Table 2 row for one configuration.
+type Row struct {
+	Op     string
+	Cached bool
+	Mean   time.Duration
+}
+
+// RunTable2 measures every Table 2 row against target. Iterations bounds
+// per-row iteration counts (uncached rows use fewer because each pays
+// device latency).
+func RunTable2(t *Target, iterations int) ([]Row, error) {
+	if iterations <= 0 {
+		iterations = 2000
+	}
+	uncachedIters := iterations / 10
+	if uncachedIters < 64 {
+		uncachedIters = 64
+	}
+	// Uncached rows walk distinct blocks; each row gets a quarter of the
+	// file so the read and write regions never overlap or run past EOF.
+	if uncachedIters > FileSize/(4*vm.PageSize) {
+		uncachedIters = FileSize / (4 * vm.PageSize)
+	}
+	var rows []Row
+
+	// open (served from the i-node/dir caches; no disk I/O)
+	if err := t.Open(); err != nil {
+		return nil, err
+	}
+	d, err := MeasureBest(3, iterations, func(int) error { return t.Open() })
+	if err != nil {
+		return nil, fmt.Errorf("open: %w", err)
+	}
+	rows = append(rows, Row{Op: "open", Cached: true, Mean: d})
+
+	// 4KB read, cached: same block, warm.
+	if err := t.Read(0); err != nil {
+		return nil, err
+	}
+	d, err = MeasureBest(3, iterations, func(int) error { return t.Read(0) })
+	if err != nil {
+		return nil, fmt.Errorf("read cached: %w", err)
+	}
+	rows = append(rows, Row{Op: "4KB read", Cached: true, Mean: d})
+
+	// 4KB read, not cached: drop every cache, then walk distinct cold
+	// blocks -> disk I/O every time. Best of three cold passes.
+	base := int64(FileSize / 2)
+	d, err = measureColdBest(t, 3, uncachedIters, func(i int) error {
+		return t.Read(base + int64(i)*vm.PageSize)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("read uncached: %w", err)
+	}
+	rows = append(rows, Row{Op: "4KB read", Cached: false, Mean: d})
+
+	// 4KB write, cached: same warm block (write-behind absorbs it).
+	if err := t.Write(0); err != nil {
+		return nil, err
+	}
+	d, err = MeasureBest(3, iterations, func(int) error { return t.Write(0) })
+	if err != nil {
+		return nil, fmt.Errorf("write cached: %w", err)
+	}
+	rows = append(rows, Row{Op: "4KB write", Cached: true, Mean: d})
+
+	// 4KB write, not cached: drop caches, then write distinct cold
+	// blocks; the write fault pulls each block from the device, so every
+	// operation pays disk latency. Best of three cold passes.
+	base = int64(FileSize / 4)
+	d, err = measureColdBest(t, 3, uncachedIters, func(i int) error {
+		return t.Write(base + int64(i)*vm.PageSize)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("write uncached: %w", err)
+	}
+	rows = append(rows, Row{Op: "4KB write", Cached: false, Mean: d})
+
+	// fstat, cached.
+	if err := t.Stat(); err != nil {
+		return nil, err
+	}
+	d, err = MeasureBest(3, iterations, func(int) error { return t.Stat() })
+	if err != nil {
+		return nil, fmt.Errorf("stat cached: %w", err)
+	}
+	rows = append(rows, Row{Op: "fstat", Cached: true, Mean: d})
+
+	// fstat, not cached: the attribute cache is invalidated before every
+	// call, so each stat walks to the lower layer (the disk layer's
+	// i-node cache still avoids disk I/O, as in the paper).
+	d, err = MeasureBest(3, iterations, func(int) error {
+		if t.DropAttrCache != nil {
+			t.DropAttrCache()
+		}
+		return t.Stat()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stat uncached: %w", err)
+	}
+	rows = append(rows, Row{Op: "fstat", Cached: false, Mean: d})
+
+	return rows, nil
+}
+
+// measureColdBest runs trials cold passes (dropping every cache before
+// each) and returns the fastest mean.
+func measureColdBest(t *Target, trials, n int, fn func(i int) error) (time.Duration, error) {
+	best := time.Duration(0)
+	for k := 0; k < trials; k++ {
+		if t.DropDataCaches != nil {
+			if err := t.DropDataCaches(); err != nil {
+				return 0, err
+			}
+		}
+		d, err := Measure(n, fn)
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// MacroWorkload runs one iteration of a software-build-like macro
+// workload against the exported file system: make a directory tree,
+// create and write a batch of small files, stat and read everything back,
+// then remove it all. The paper argues (Section 6.4, citing the Sprite
+// macro-benchmarks) that the per-open stacking overhead is not significant
+// for real applications because opens are a small fraction of such
+// workloads; MacroWorkload lets the harness check exactly that.
+func MacroWorkload(fs fsys.StackableFS, tag string) error {
+	root := fmt.Sprintf("build-%s", tag)
+	if _, err := fs.CreateContext(root, naming.Root); err != nil {
+		return err
+	}
+	payload := make([]byte, 2048)
+	buf := make([]byte, 2048)
+	for d := 0; d < 3; d++ {
+		dir := fmt.Sprintf("%s/pkg%d", root, d)
+		if _, err := fs.CreateContext(dir, naming.Root); err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("%s/src%d.go", dir, i)
+			f, err := fs.Create(name, naming.Root)
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteAt(payload, 0); err != nil {
+				return err
+			}
+		}
+	}
+	// "Compile": open by name, stat, read every file twice.
+	for pass := 0; pass < 2; pass++ {
+		for d := 0; d < 3; d++ {
+			for i := 0; i < 8; i++ {
+				name := fmt.Sprintf("%s/pkg%d/src%d.go", root, d, i)
+				f, err := fs.Open(name, naming.Root)
+				if err != nil {
+					return err
+				}
+				if _, err := f.Stat(); err != nil {
+					return err
+				}
+				if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+					return err
+				}
+			}
+		}
+	}
+	// Clean up.
+	for d := 0; d < 3; d++ {
+		dir := fmt.Sprintf("%s/pkg%d", root, d)
+		for i := 0; i < 8; i++ {
+			if err := fs.Remove(fmt.Sprintf("%s/src%d.go", dir, i), naming.Root); err != nil {
+				return err
+			}
+		}
+		if err := fs.Remove(dir, naming.Root); err != nil {
+			return err
+		}
+	}
+	return fs.Remove(root, naming.Root)
+}

@@ -1,0 +1,143 @@
+package blockdev
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"springfs/internal/stats"
+)
+
+// FileDevice is a block device backed by a real file on the host file
+// system, for users who want a springfs volume that persists across
+// process restarts. The same latency model as MemDevice can be applied on
+// top of the host's own I/O cost (usually it is left off).
+type FileDevice struct {
+	mu      sync.Mutex
+	f       *os.File
+	nblocks int64
+	profile LatencyProfile
+	lastBn  int64
+	closed  bool
+
+	// Reads and Writes count block I/Os.
+	Reads  stats.Counter
+	Writes stats.Counter
+}
+
+var _ Device = (*FileDevice)(nil)
+
+// OpenFile opens (creating and sizing if needed) a file-backed device with
+// nblocks blocks at path.
+func OpenFile(path string, nblocks int64, profile LatencyProfile) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size := nblocks * BlockSize
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if info.Size() > size {
+		nblocks = info.Size() / BlockSize
+	}
+	return &FileDevice{f: f, nblocks: nblocks, profile: profile, lastBn: -2}, nil
+}
+
+// NumBlocks implements Device.
+func (d *FileDevice) NumBlocks() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nblocks
+}
+
+func (d *FileDevice) check(bn int64, buf []byte) error {
+	if len(buf) != BlockSize {
+		return ErrBadSize
+	}
+	if d.closed {
+		return ErrClosed
+	}
+	if bn < 0 || bn >= d.nblocks {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+func (d *FileDevice) charge(bn int64) time.Duration {
+	delay := d.profile.Rotation + d.profile.PerBlock
+	if bn != d.lastBn+1 {
+		delay += d.profile.Seek
+	}
+	d.lastBn = bn
+	return delay
+}
+
+// ReadBlock implements Device.
+func (d *FileDevice) ReadBlock(bn int64, buf []byte) error {
+	d.mu.Lock()
+	if err := d.check(bn, buf); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	delay := d.charge(bn)
+	_, err := d.f.ReadAt(buf, bn*BlockSize)
+	d.Reads.Inc()
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("blockdev: file read: %w", err)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// WriteBlock implements Device.
+func (d *FileDevice) WriteBlock(bn int64, buf []byte) error {
+	d.mu.Lock()
+	if err := d.check(bn, buf); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	delay := d.charge(bn)
+	_, err := d.f.WriteAt(buf, bn*BlockSize)
+	d.Writes.Inc()
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("blockdev: file write: %w", err)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// Flush implements Device (fsync).
+func (d *FileDevice) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close implements Device.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

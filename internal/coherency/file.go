@@ -1,0 +1,692 @@
+package coherency
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// blockState is the per-block protocol state: which upper connections hold
+// the block and in what mode, plus the coherency layer's own cached copy.
+//
+// Invariants (with busy held):
+//   - at most one holder has read-write rights, and then no other holder
+//     exists (MRSW);
+//   - b.data, when valid, is the freshest copy known below the holders: a
+//     read-write holder may have a newer copy, which is reconciled
+//     (FlushBack/DenyWrites) before anyone else is served;
+//   - dirty means b.data contains modifications not yet written to the
+//     lower layer (the layer caches writes, which is what makes cached
+//     writes free of lower-layer calls in Table 2).
+type blockState struct {
+	busy    bool
+	epoch   uint64 // bumped by revocations; in-flight fetches revalidate
+	version uint64 // bumped on every data change; guards dirty-clearing
+	holders map[*fsys.Connection]vm.Rights
+	data    []byte
+	valid   bool
+	dirty   bool
+}
+
+// cohFile is one coherent file: a wrapper around a lower-layer file that
+// acts as a pager to the caches above it and as a cache manager to the
+// layer below it (Figure 4 of the paper: a file system as pager and cache
+// manager at the same time).
+type cohFile struct {
+	fs      *CohFS
+	lower   fsys.File
+	backing uint64
+	io      *fsys.MappedIO
+	attrs   fsys.AttrCache
+
+	// pmu guards the lazily-established connection to the lower layer.
+	pmu          sync.Mutex
+	lowerPager   vm.PagerObject
+	lowerFsPager fsys.FsPagerObject // non-nil if the lower pager narrowed
+
+	// bmu + bcond guard the block table and the per-block busy flags.
+	bmu    sync.Mutex
+	bcond  *sync.Cond
+	blocks map[int64]*blockState
+}
+
+var (
+	_ fsys.File             = (*cohFile)(nil)
+	_ vm.CacheManager       = (*cohFile)(nil)
+	_ naming.ProxyWrappable = (*cohFile)(nil)
+)
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (f *cohFile) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.NewFileProxy(ch, f)
+}
+
+// Lower returns the underlying file (tests).
+func (f *cohFile) Lower() fsys.File { return f.lower }
+
+// ---- cache-manager half (toward the lower layer) ----
+
+// ManagerName implements vm.CacheManager.
+func (f *cohFile) ManagerName() string {
+	return fmt.Sprintf("%s/file%d", f.fs.name, f.backing)
+}
+
+// ManagerDomain implements vm.CacheManager.
+func (f *cohFile) ManagerDomain() *spring.Domain { return f.fs.domain }
+
+// NewConnection implements vm.CacheManager: the lower layer hands us its
+// pager object during bind; we hand back our fs_cache object, through
+// which the lower layer will perform coherency actions against this file.
+func (f *cohFile) NewConnection(pager vm.PagerObject) (vm.CacheObject, vm.CacheRights) {
+	f.pmu.Lock()
+	f.lowerPager = pager
+	if fp, ok := spring.Narrow[fsys.FsPagerObject](pager); ok {
+		f.lowerFsPager = fp
+	}
+	f.pmu.Unlock()
+	return &lowerCacheObject{f: f}, lowerRights{id: f.backing, name: f.ManagerName()}
+}
+
+// lowerRights is the cache-rights token this layer issues on its lower
+// bind. The layer itself is the only user, so it carries just identity.
+type lowerRights struct {
+	id   uint64
+	name string
+}
+
+func (r lowerRights) RightsID() uint64    { return r.id }
+func (r lowerRights) ManagerName() string { return r.name }
+
+// ensureLowerPager binds to the lower file (once) and returns the pager
+// object for it: the layer establishes itself as a cache manager for the
+// underlying file by issuing a bind operation on it (Section 4.2.1).
+func (f *cohFile) ensureLowerPager() (vm.PagerObject, error) {
+	f.pmu.Lock()
+	p := f.lowerPager
+	f.pmu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	if _, err := f.lower.Bind(f, vm.RightsWrite, 0, 0); err != nil {
+		return nil, fmt.Errorf("coherency: bind to lower file: %w", err)
+	}
+	f.pmu.Lock()
+	defer f.pmu.Unlock()
+	if f.lowerPager == nil {
+		return nil, fmt.Errorf("coherency: lower bind established no pager-cache connection")
+	}
+	return f.lowerPager, nil
+}
+
+// lowerAttrs fetches attributes from the lower layer, preferring the
+// fs_pager attribute operations when the lower pager narrowed to fs_pager
+// and falling back to the file interface otherwise.
+func (f *cohFile) lowerAttrs() (fsys.Attributes, error) {
+	f.pmu.Lock()
+	fp := f.lowerFsPager
+	f.pmu.Unlock()
+	if fp != nil {
+		return fp.GetAttributes()
+	}
+	return f.lower.Stat()
+}
+
+// pushLowerAttrs writes modified attributes to the lower layer.
+func (f *cohFile) pushLowerAttrs(attrs fsys.Attributes) error {
+	f.pmu.Lock()
+	fp := f.lowerFsPager
+	f.pmu.Unlock()
+	if fp != nil {
+		return fp.SetAttributes(attrs)
+	}
+	if err := f.lower.SetLength(attrs.Length); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ---- block protocol ----
+
+// acquire waits for and claims the busy flag of block pn.
+func (f *cohFile) acquire(pn int64) *blockState {
+	f.bmu.Lock()
+	b, ok := f.blocks[pn]
+	if !ok {
+		b = &blockState{holders: make(map[*fsys.Connection]vm.Rights)}
+		f.blocks[pn] = b
+	}
+	for b.busy {
+		f.bcond.Wait()
+	}
+	b.busy = true
+	f.bmu.Unlock()
+	return b
+}
+
+// release drops the busy flag.
+func (f *cohFile) release(b *blockState) {
+	f.bmu.Lock()
+	b.busy = false
+	f.bcond.Broadcast()
+	f.bmu.Unlock()
+}
+
+// absorb merges data returned by an upper cache (flush-back/deny-writes)
+// into the block's cached copy. Caller holds busy.
+func (f *cohFile) absorb(b *blockState, pn int64, datas []vm.Data) {
+	off := pn * BlockSize
+	for _, d := range datas {
+		if d.Offset <= off && off+BlockSize <= d.Offset+int64(len(d.Bytes)) {
+			if b.data == nil {
+				b.data = make([]byte, BlockSize)
+			}
+			copy(b.data, d.Bytes[off-d.Offset:])
+			b.valid = true
+			b.dirty = true
+			b.version++
+		}
+	}
+}
+
+// revokeForWrite removes every other holder of block pn, reconciling
+// modified data. Caller holds busy. Upward call-outs only.
+func (f *cohFile) revokeForWrite(b *blockState, pn int64, requester *fsys.Connection) {
+	off := pn * BlockSize
+	for h, r := range b.holders {
+		if h == requester {
+			continue
+		}
+		if r.CanWrite() {
+			f.absorb(b, pn, h.Cache.FlushBack(off, BlockSize))
+		} else {
+			h.Cache.DeleteRange(off, BlockSize)
+		}
+		delete(b.holders, h)
+		f.fs.Revocations.Inc()
+	}
+}
+
+// revokeForRead downgrades any writer of block pn. Caller holds busy.
+func (f *cohFile) revokeForRead(b *blockState, pn int64, requester *fsys.Connection) {
+	off := pn * BlockSize
+	for h, r := range b.holders {
+		if h == requester || !r.CanWrite() {
+			continue
+		}
+		f.absorb(b, pn, h.Cache.DenyWrites(off, BlockSize))
+		b.holders[h] = vm.RightsRead
+		f.fs.Revocations.Inc()
+	}
+}
+
+// maxRights merges an existing holding with a new grant.
+func maxRights(a, b vm.Rights) vm.Rights {
+	return a | b
+}
+
+// pageInBlock runs the MRSW protocol for one block on behalf of conn.
+// Downward fetches happen with busy released; installs revalidate the
+// epoch (see the package comment for the deadlock discipline).
+func (f *cohFile) pageInBlock(conn *fsys.Connection, pn int64, access vm.Rights) ([]byte, error) {
+	for {
+		b := f.acquire(pn)
+		if access.CanWrite() {
+			f.revokeForWrite(b, pn, conn)
+		} else {
+			f.revokeForRead(b, pn, conn)
+		}
+		if b.valid {
+			out := make([]byte, BlockSize)
+			copy(out, b.data)
+			b.holders[conn] = maxRights(b.holders[conn], access)
+			f.release(b)
+			return out, nil
+		}
+		epoch := b.epoch
+		f.release(b)
+
+		// Fetch from the lower layer without holding the block.
+		pager, err := f.ensureLowerPager()
+		if err != nil {
+			return nil, err
+		}
+		data, err := pager.PageIn(pn*BlockSize, BlockSize, access)
+		if err != nil {
+			return nil, err
+		}
+		f.fs.LowerPageIns.Inc()
+
+		b = f.acquire(pn)
+		if b.epoch == epoch && !b.valid {
+			b.data = data
+			b.valid = true
+			b.dirty = false
+			b.version++
+		}
+		f.release(b)
+		// Loop: the next iteration re-runs revocation and grants from the
+		// (now valid) cached copy, or refetches if a revocation landed.
+	}
+}
+
+// storeBlock records data written back by conn, adjusting its holding.
+// retain < 0 removes the holder; retain == RightsRead downgrades; retain
+// == RightsWrite keeps the holding unchanged.
+func (f *cohFile) storeBlock(conn *fsys.Connection, pn int64, data []byte, retain int) {
+	b := f.acquire(pn)
+	if b.data == nil {
+		b.data = make([]byte, BlockSize)
+	}
+	copy(b.data, data)
+	b.valid = true
+	b.dirty = true
+	b.version++
+	switch {
+	case retain < 0:
+		delete(b.holders, conn)
+	case vm.Rights(retain) == vm.RightsRead:
+		b.holders[conn] = vm.RightsRead
+	}
+	f.release(b)
+}
+
+// writeThrough pushes the block's cached copy to the lower layer and
+// clears dirty if nothing changed meanwhile. The lower call happens with
+// busy released.
+func (f *cohFile) writeThrough(pn int64) error {
+	b := f.acquire(pn)
+	if !b.valid || !b.dirty {
+		f.release(b)
+		return nil
+	}
+	data := make([]byte, BlockSize)
+	copy(data, b.data)
+	version := b.version
+	f.release(b)
+
+	pager, err := f.ensureLowerPager()
+	if err != nil {
+		return err
+	}
+	if err := pager.Sync(pn*BlockSize, BlockSize, data); err != nil {
+		return err
+	}
+	f.fs.LowerPageOuts.Inc()
+
+	b = f.acquire(pn)
+	if b.version == version {
+		b.dirty = false
+	}
+	f.release(b)
+	return nil
+}
+
+// flushAll downgrades writers, writes every dirty block through to the
+// lower layer, and pushes modified attributes down.
+func (f *cohFile) flushAll() error {
+	f.bmu.Lock()
+	pns := make([]int64, 0, len(f.blocks))
+	for pn := range f.blocks {
+		pns = append(pns, pn)
+	}
+	f.bmu.Unlock()
+	// Flush in file order: allocation below then lays blocks out
+	// sequentially, which keeps later clustered reads cheap.
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		b := f.acquire(pn)
+		f.revokeForRead(b, pn, nil) // collect modified data from writers
+		f.release(b)
+		if err := f.writeThrough(pn); err != nil {
+			return err
+		}
+	}
+	if attrs, dirty := f.attrs.Flush(); dirty {
+		if err := f.pushLowerAttrs(attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- memory object / file half (toward clients and upper layers) ----
+
+// Bind implements vm.MemoryObject: the coherency layer is the pager for
+// its files, so binds terminate here (unlike DFS, which forwards local
+// binds).
+func (f *cohFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
+	rights, _, _ := f.fs.table.Bind(caller, f.backing, func() vm.PagerObject {
+		return &cohPager{file: f}
+	})
+	return rights, nil
+}
+
+// pollUpperAttrs runs the attribute-coherency protocol of Section 4.3:
+// before serving attributes, the pager collects modified attributes from
+// every cache manager above that narrowed to fs_cache (managers that did
+// not — e.g. a plain VMM — cannot cache attributes).
+func (f *cohFile) pollUpperAttrs() {
+	if !f.fs.table.HasFsCache(f.backing) {
+		return
+	}
+	for _, conn := range f.fs.table.ConnectionsFor(f.backing) {
+		if conn.FsCache == nil {
+			continue
+		}
+		if attrs, dirty := conn.FsCache.FlushAttributes(); dirty {
+			f.attrs.Update(attrs)
+		}
+	}
+}
+
+// invalidateUpperAttrs drops the attribute caches of every fs_cache
+// manager above (except the source of a change) so their next stat
+// refetches.
+func (f *cohFile) invalidateUpperAttrs(except *fsys.Connection) {
+	for _, conn := range f.fs.table.ConnectionsFor(f.backing) {
+		if conn == except || conn.FsCache == nil {
+			continue
+		}
+		conn.FsCache.InvalidateAttributes()
+	}
+}
+
+// cachedAttrs returns the file's attributes, first reconciling with the
+// fs_cache managers above and fetching from the lower layer on miss — the
+// attribute caching of Section 4.3.
+func (f *cohFile) cachedAttrs() (fsys.Attributes, error) {
+	f.pollUpperAttrs()
+	if attrs, ok := f.attrs.Get(); ok {
+		return attrs, nil
+	}
+	attrs, err := f.lowerAttrs()
+	if err != nil {
+		return fsys.Attributes{}, err
+	}
+	f.attrs.Set(attrs)
+	return attrs, nil
+}
+
+// GetLength implements vm.MemoryObject.
+func (f *cohFile) GetLength() (vm.Offset, error) {
+	attrs, err := f.cachedAttrs()
+	if err != nil {
+		return 0, err
+	}
+	return attrs.Length, nil
+}
+
+// SetLength implements vm.MemoryObject; the new length is cached and
+// written back on flush (attribute write-behind).
+func (f *cohFile) SetLength(length vm.Offset) error {
+	attrs, err := f.cachedAttrs()
+	if err != nil {
+		return err
+	}
+	attrs.Length = length
+	attrs.ModifyTime = time.Now()
+	f.attrs.Update(attrs)
+	f.invalidateUpperAttrs(nil)
+	return nil
+}
+
+// SetReadAhead enables read-ahead on the file's server-side mapping: each
+// fault asks the layer below for up to extra additional sequential pages
+// (Section 8 of the paper).
+func (f *cohFile) SetReadAhead(extra int) { f.io.SetReadAhead(extra) }
+
+// ReadAt implements fsys.File.
+func (f *cohFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.io.ReadAt(p, off)
+	if n > 0 {
+		f.attrs.Mutate(func(a *fsys.Attributes) { a.AccessTime = time.Now() })
+	}
+	return n, err
+}
+
+// WriteAt implements fsys.File.
+func (f *cohFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.io.WriteAt(p, off)
+	if n > 0 {
+		f.attrs.Mutate(func(a *fsys.Attributes) { a.ModifyTime = time.Now() })
+	}
+	return n, err
+}
+
+// Stat implements fsys.File, served from the attribute cache.
+func (f *cohFile) Stat() (fsys.Attributes, error) {
+	return f.cachedAttrs()
+}
+
+// Sync implements fsys.File: push modified pages from the local mapping
+// into this layer, write dirty blocks and attributes through to the lower
+// layer, and sync the lower file.
+func (f *cohFile) Sync() error {
+	if err := f.io.Sync(); err != nil {
+		return err
+	}
+	if err := f.flushAll(); err != nil {
+		return err
+	}
+	return f.lower.Sync()
+}
+
+// ---- pager objects handed to upper cache managers ----
+
+// cohPager is the fs_pager the coherency layer exports to one upper cache
+// manager (one per pager-cache connection).
+type cohPager struct {
+	file *cohFile
+	conn *fsys.Connection
+}
+
+var (
+	_ fsys.FsPagerObject   = (*cohPager)(nil)
+	_ fsys.ConnectionAware = (*cohPager)(nil)
+	_ vm.HintedPager       = (*cohPager)(nil)
+)
+
+// AttachConnection implements fsys.ConnectionAware.
+func (p *cohPager) AttachConnection(c *fsys.Connection) { p.conn = c }
+
+// PageIn implements vm.PagerObject.
+func (p *cohPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, error) {
+	if !vm.PageAligned(offset, size) {
+		return nil, vm.ErrUnaligned
+	}
+	out := make([]byte, size)
+	for pn := offset / BlockSize; pn*BlockSize < offset+size; pn++ {
+		data, err := p.file.pageInBlock(p.conn, pn, access)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[pn*BlockSize-offset:], data)
+	}
+	return out, nil
+}
+
+// PageInHint implements vm.HintedPager (the Section 8 read-ahead
+// extension): the pager may return more data than strictly needed. The
+// coherency layer serves as many sequential blocks as fit in maxSize,
+// bounded by the end of file rounded to a block, and prefetches the
+// blocks it does not hold from the lower layer in a single clustered
+// transfer so the device pays one positioning delay for the whole run.
+func (p *cohPager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rights) ([]byte, error) {
+	length, err := p.file.GetLength()
+	if err != nil {
+		return nil, err
+	}
+	end := vm.RoundUp(length)
+	size := maxSize
+	if offset+size > end {
+		size = end - offset
+	}
+	if size < minSize {
+		size = minSize
+	}
+	p.file.prefetch(offset, size, access)
+	return p.PageIn(offset, size, access)
+}
+
+// prefetch pulls the invalid blocks of [offset, offset+size) from the
+// lower layer in one bulk transfer and installs them, validating each
+// block's epoch so a revocation that lands mid-flight discards the stale
+// copy (the per-block protocol then refetches it). Best effort: on any
+// error the normal single-block path takes over.
+func (f *cohFile) prefetch(offset, size vm.Offset, access vm.Rights) {
+	first, last := vm.PageRange(offset, size)
+	n := last - first + 1
+	if n <= 1 {
+		return
+	}
+	// Snapshot epochs and validity without holding any block across the
+	// downward call.
+	epochs := make([]uint64, n)
+	missing := false
+	for pn := first; pn <= last; pn++ {
+		b := f.acquire(pn)
+		epochs[pn-first] = b.epoch
+		if !b.valid {
+			missing = true
+		}
+		f.release(b)
+	}
+	if !missing {
+		return
+	}
+	pager, err := f.ensureLowerPager()
+	if err != nil {
+		return
+	}
+	var bulk []byte
+	if hp, ok := spring.Narrow[vm.HintedPager](pager); ok {
+		bulk, err = hp.PageInHint(first*BlockSize, size, size, access)
+	} else {
+		bulk, err = pager.PageIn(first*BlockSize, size, access)
+	}
+	if err != nil || int64(len(bulk)) < size {
+		return
+	}
+	f.fs.LowerPageIns.Inc()
+	for pn := first; pn <= last; pn++ {
+		b := f.acquire(pn)
+		if !b.valid && b.epoch == epochs[pn-first] {
+			b.data = make([]byte, BlockSize)
+			copy(b.data, bulk[(pn-first)*BlockSize:])
+			b.valid = true
+			b.dirty = false
+			b.version++
+		}
+		f.release(b)
+	}
+}
+
+// PageOut implements vm.PagerObject: the caller no longer retains the
+// data; the layer caches it dirty (write-behind).
+func (p *cohPager) PageOut(offset, size vm.Offset, data []byte) error {
+	return p.store(offset, size, data, -1, false)
+}
+
+// WriteOut implements vm.PagerObject: the caller retains read-only.
+func (p *cohPager) WriteOut(offset, size vm.Offset, data []byte) error {
+	return p.store(offset, size, data, int(vm.RightsRead), false)
+}
+
+// Sync implements vm.PagerObject: the caller retains its mode; the data is
+// written through to the lower layer for durability.
+func (p *cohPager) Sync(offset, size vm.Offset, data []byte) error {
+	return p.store(offset, size, data, int(vm.RightsWrite), true)
+}
+
+func (p *cohPager) store(offset, size vm.Offset, data []byte, retain int, through bool) error {
+	if !vm.PageAligned(offset, size) {
+		return vm.ErrUnaligned
+	}
+	if int64(len(data)) < size {
+		return fmt.Errorf("coherency: short data: %d < %d", len(data), size)
+	}
+	for pn := offset / BlockSize; pn*BlockSize < offset+size; pn++ {
+		p.file.storeBlock(p.conn, pn, data[pn*BlockSize-offset:(pn+1)*BlockSize-offset], retain)
+		if through {
+			if err := p.file.writeThrough(pn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DoneWithPagerObject implements vm.PagerObject: drop the connection's
+// holdings.
+func (p *cohPager) DoneWithPagerObject() {
+	f := p.file
+	f.bmu.Lock()
+	pns := make([]int64, 0, len(f.blocks))
+	for pn := range f.blocks {
+		pns = append(pns, pn)
+	}
+	f.bmu.Unlock()
+	for _, pn := range pns {
+		b := f.acquire(pn)
+		delete(b.holders, p.conn)
+		f.release(b)
+	}
+	f.fs.table.Remove(p.conn.Manager, f.backing)
+}
+
+// GetAttributes implements fsys.FsPagerObject, served from the attribute
+// cache.
+func (p *cohPager) GetAttributes() (fsys.Attributes, error) {
+	return p.file.cachedAttrs()
+}
+
+// SetAttributes implements fsys.FsPagerObject (attribute write-behind).
+// Peers' attribute caches are invalidated so they refetch.
+func (p *cohPager) SetAttributes(attrs fsys.Attributes) error {
+	p.file.attrs.Update(attrs)
+	p.file.invalidateUpperAttrs(p.conn)
+	return nil
+}
+
+// dropAll flushes the file's dirty blocks to the lower layer, revokes
+// every upper holding, and discards the layer's cached copies, leaving the
+// file fully cold (benchmark/test hook).
+func (f *cohFile) dropAll() error {
+	if err := f.flushAll(); err != nil {
+		return err
+	}
+	f.bmu.Lock()
+	pns := make([]int64, 0, len(f.blocks))
+	for pn := range f.blocks {
+		pns = append(pns, pn)
+	}
+	f.bmu.Unlock()
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		b := f.acquire(pn)
+		b.epoch++
+		f.revokeForWrite(b, pn, nil) // reconcile any late writers
+		for h := range b.holders {
+			h.Cache.DeleteRange(pn*BlockSize, BlockSize)
+			delete(b.holders, h)
+		}
+		f.release(b)
+		if err := f.writeThrough(pn); err != nil {
+			return err
+		}
+		b = f.acquire(pn)
+		if !b.dirty {
+			b.data = nil
+			b.valid = false
+			b.version++
+		}
+		f.release(b)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package coherency
+
+import (
+	"io"
+	"testing"
+
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// TestReadAhead exercises the Section 8 read-ahead/clustering extension:
+// with page-in hints enabled, a sequential scan performs far fewer
+// lower-layer page-ins (each fault pulls a cluster of blocks), and the
+// data still round-trips correctly.
+func TestReadAhead(t *testing.T) {
+	const nBlocks = 64
+	payload := make([]byte, nBlocks*vm.PageSize)
+	for i := range payload {
+		payload[i] = byte(i / vm.PageSize)
+	}
+
+	run := func(t *testing.T, extra int) int64 {
+		t.Helper()
+		r := newSFS(t, true)
+		f, err := r.coh.Create("seq", naming.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.coh.SyncFS(); err != nil {
+			t.Fatal(err)
+		}
+		// Drop every cache so the scan is cold.
+		if err := r.vmm.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.coh.DropDataCaches(); err != nil {
+			t.Fatal(err)
+		}
+		cf := f.(*cohFile)
+		cf.SetReadAhead(extra)
+		r.vmm.PageIns.Reset()
+
+		buf := make([]byte, vm.PageSize)
+		for bn := int64(0); bn < nBlocks; bn++ {
+			if _, err := f.ReadAt(buf, bn*vm.PageSize); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if buf[0] != byte(bn) {
+				t.Fatalf("block %d data = %d", bn, buf[0])
+			}
+		}
+		return r.vmm.PageIns.Value()
+	}
+
+	without := run(t, 0)
+	with := run(t, 7) // request up to 8 blocks per fault
+	if without != nBlocks {
+		t.Errorf("without read-ahead: %d page-ins, want %d", without, nBlocks)
+	}
+	if with >= without/4 {
+		t.Errorf("with read-ahead: %d page-ins, want < %d (clustered)", with, without/4)
+	}
+}
+
+// TestReadAheadAcrossDomains verifies the hint survives the cross-domain
+// proxy chain: the hinted pager proxy narrows to HintedPager, so a VMM on
+// the client side still clusters.
+func TestReadAheadAcrossDomains(t *testing.T) {
+	r := newSFS(t, false) // two domains
+	f, err := r.coh.Create("remote-ra", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 16*vm.PageSize)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A separate VMM maps the coherent file and enables read-ahead on its
+	// connection; the coherency pager behind the proxy must narrow to
+	// HintedPager.
+	vmm2 := vm.New(spring.NewDomain(r.node, "vmm2"), "vmm2")
+	m, err := vmm2.Map(f, vm.RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spring.Narrow[vm.HintedPager](m.Cache().Pager()); !ok {
+		t.Fatal("coherency pager does not narrow to HintedPager through the connection")
+	}
+	m.Cache().SetReadAhead(7)
+	buf := make([]byte, vm.PageSize)
+	for bn := int64(0); bn < 16; bn++ {
+		if _, err := m.ReadAt(buf, bn*vm.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := vmm2.PageIns.Value(); got > 4 {
+		t.Errorf("page-ins with read-ahead = %d, want <= 4 for 16 blocks", got)
+	}
+}

@@ -1,0 +1,579 @@
+package compfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// compFile is one COMPFS file: a transforming wrapper around a lower file
+// holding the compressed image. Data writes are write-through (compressed
+// immediately into the lower file); the block table is cached in memory
+// and written back on Sync.
+type compFile struct {
+	fs      *CompFS
+	lower   fsys.File
+	backing uint64
+
+	mu       sync.Mutex
+	tbl      *blockTable // nil until loaded
+	tblDirty bool
+	bound    bool // coherent mode: cache-manager connection established
+
+	// lowerPager is the pager object for the underlying file, obtained
+	// during the cache-manager bind (coherent mode). Reads go through it
+	// so the lower layer tracks COMPFS as a holder and its revocations
+	// reach compCacheObject.
+	lowerPager atomic.Value // vm.PagerObject
+
+	// tblStale is set (lock-free) by lower-layer revocations: the cached
+	// block table must be reloaded before the next use. It is lock-free
+	// because revocations arrive while the lower layer holds its
+	// per-block protocol state, possibly during one of this file's own
+	// lower-layer calls — taking f.mu here would deadlock.
+	tblStale atomic.Bool
+}
+
+var (
+	_ fsys.File             = (*compFile)(nil)
+	_ vm.CacheManager       = (*compFile)(nil)
+	_ naming.ProxyWrappable = (*compFile)(nil)
+)
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (f *compFile) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.NewFileProxy(ch, f)
+}
+
+// Lower returns the underlying file (tests).
+func (f *compFile) Lower() fsys.File { return f.lower }
+
+// ---- cache-manager half (coherent mode, the C3–P3 connection) ----
+
+// ManagerName implements vm.CacheManager.
+func (f *compFile) ManagerName() string {
+	return fmt.Sprintf("%s/file%d", f.fs.name, f.backing)
+}
+
+// ManagerDomain implements vm.CacheManager.
+func (f *compFile) ManagerDomain() *spring.Domain { return f.fs.domain }
+
+// NewConnection implements vm.CacheManager: hand the lower layer the cache
+// object through which its coherency actions reach COMPFS, keeping its
+// pager object for our reads.
+func (f *compFile) NewConnection(pager vm.PagerObject) (vm.CacheObject, vm.CacheRights) {
+	f.lowerPager.Store(pager)
+	return &compCacheObject{f: f}, compRights{id: f.backing, name: f.ManagerName()}
+}
+
+type compRights struct {
+	id   uint64
+	name string
+}
+
+func (r compRights) RightsID() uint64    { return r.id }
+func (r compRights) ManagerName() string { return r.name }
+
+// ensureBound establishes the cache-manager connection to the lower file
+// in coherent mode, so the lower layer engages COMPFS in its coherency
+// actions. In addition, COMPFS registers interest by paging the header in
+// through the connection (holders are revoked; non-holders are not).
+func (f *compFile) ensureBound() {
+	if f.fs.mode != ModeCoherent {
+		return
+	}
+	f.mu.Lock()
+	bound := f.bound
+	f.mu.Unlock()
+	if bound {
+		return
+	}
+	if _, err := f.lower.Bind(f, vm.RightsRead, 0, 0); err != nil {
+		return
+	}
+	f.mu.Lock()
+	f.bound = true
+	f.mu.Unlock()
+}
+
+// compCacheObject receives the lower layer's coherency actions. COMPFS
+// holds no dirty compressed data (writes are write-through), so flush
+// operations return nothing; every action invalidates the cached block
+// table and the caches of file_COMP's own clients, which is what makes
+// mappings of file_SFS and file_COMP coherent (Figure 6).
+type compCacheObject struct {
+	f *compFile
+}
+
+var _ vm.CacheObject = (*compCacheObject)(nil)
+
+func (c *compCacheObject) invalidate() {
+	f := c.f
+	f.fs.Invalidations.Inc()
+	// Mark the cached block table stale; the next operation reloads it
+	// from the (changed) underlying file. Lock-free — see tblStale.
+	f.tblStale.Store(true)
+	// Invalidate everyone caching uncompressed file_COMP data.
+	for _, conn := range f.fs.table.ConnectionsFor(f.backing) {
+		conn.Cache.DeleteRange(0, 1<<62)
+		if conn.FsCache != nil {
+			conn.FsCache.InvalidateAttributes()
+		}
+	}
+}
+
+// FlushBack implements vm.CacheObject.
+func (c *compCacheObject) FlushBack(offset, size vm.Offset) []vm.Data {
+	c.invalidate()
+	return nil
+}
+
+// DenyWrites implements vm.CacheObject.
+func (c *compCacheObject) DenyWrites(offset, size vm.Offset) []vm.Data {
+	// COMPFS holds the lower file read-only already; nothing to return.
+	return nil
+}
+
+// WriteBack implements vm.CacheObject.
+func (c *compCacheObject) WriteBack(offset, size vm.Offset) []vm.Data { return nil }
+
+// DeleteRange implements vm.CacheObject.
+func (c *compCacheObject) DeleteRange(offset, size vm.Offset) { c.invalidate() }
+
+// ZeroFill implements vm.CacheObject.
+func (c *compCacheObject) ZeroFill(offset, size vm.Offset) { c.invalidate() }
+
+// Populate implements vm.CacheObject.
+func (c *compCacheObject) Populate(offset, size vm.Offset, access vm.Rights, data []byte) {
+	c.invalidate()
+}
+
+// DestroyCache implements vm.CacheObject.
+func (c *compCacheObject) DestroyCache() { c.invalidate() }
+
+// ---- metadata ----
+
+// readLower reads len(p) bytes at off from the underlying file. In
+// coherent mode the read goes through the pager connection, which
+// registers COMPFS as a holder of the covered blocks so that later direct
+// writes to the underlying file revoke (and thereby notify) COMPFS. In
+// non-coherent mode — Figure 5 — the plain file interface is used and no
+// notification ever arrives.
+func (f *compFile) readLower(p []byte, off int64) error {
+	pager, _ := f.lowerPager.Load().(vm.PagerObject)
+	if f.fs.mode != ModeCoherent || pager == nil {
+		_, err := f.lower.ReadAt(p, off)
+		if err == io.EOF {
+			err = nil
+		}
+		return err
+	}
+	start := off / BlockSize * BlockSize
+	end := (off + int64(len(p)) + BlockSize - 1) / BlockSize * BlockSize
+	data, err := pager.PageIn(start, end-start, vm.RightsRead)
+	if err != nil {
+		return err
+	}
+	copy(p, data[off-start:])
+	return nil
+}
+
+// loadTableLocked reads the header and block table from the lower file.
+// Caller holds f.mu. A staleness mark from a lower-layer revocation drops
+// the cached table first, unless COMPFS itself has unflushed table
+// updates (it then owns the latest mapping; mixing direct rewrites of the
+// compressed image with concurrent COMPFS writes is undefined).
+func (f *compFile) loadTableLocked() error {
+	if f.tblStale.Swap(false) && !f.tblDirty {
+		f.tbl = nil
+	}
+	if f.tbl != nil {
+		return nil
+	}
+	length, err := f.lower.GetLength()
+	if err != nil {
+		return err
+	}
+	if length == 0 {
+		f.tbl = newBlockTable()
+		return nil
+	}
+	hdr := make([]byte, 64)
+	if err := f.readLower(hdr, 0); err != nil {
+		return err
+	}
+	be := binary.BigEndian
+	if be.Uint64(hdr[0:]) != Magic {
+		return ErrBadFormat
+	}
+	tbl := newBlockTable()
+	tbl.uncompLen = int64(be.Uint64(hdr[12:]))
+	tableOff := int64(be.Uint64(hdr[20:]))
+	tableLen := int64(be.Uint64(hdr[28:]))
+	tbl.nextFree = int64(be.Uint64(hdr[36:]))
+	if tableLen > 0 {
+		raw := make([]byte, tableLen)
+		if err := f.readLower(raw, tableOff); err != nil {
+			return err
+		}
+		blocks, err := decodeBlockTable(raw)
+		if err != nil {
+			return err
+		}
+		tbl.blocks = blocks
+	}
+	f.tbl = tbl
+	return nil
+}
+
+// writeMetaLocked appends the current table to the log and rewrites the
+// header to point at it. Caller holds f.mu with f.tbl loaded.
+func (f *compFile) writeMetaLocked() error {
+	tbl := f.tbl
+	raw := tbl.encode()
+	tableOff := tbl.nextFree
+	if _, err := f.lower.WriteAt(raw, tableOff); err != nil {
+		return err
+	}
+	tbl.nextFree = tableOff + int64(len(raw))
+	hdr := make([]byte, 64)
+	be := binary.BigEndian
+	be.PutUint64(hdr[0:], Magic)
+	be.PutUint32(hdr[8:], 1)
+	be.PutUint64(hdr[12:], uint64(tbl.uncompLen))
+	be.PutUint64(hdr[20:], uint64(tableOff))
+	be.PutUint64(hdr[28:], uint64(len(raw)))
+	be.PutUint64(hdr[36:], uint64(tbl.nextFree))
+	if _, err := f.lower.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	f.tblDirty = false
+	return nil
+}
+
+// readBlockLocked returns the uncompressed content of block bn. Caller
+// holds f.mu with the table loaded.
+func (f *compFile) readBlockLocked(bn int64) ([]byte, error) {
+	e, ok := f.tbl.blocks[bn]
+	if !ok {
+		return make([]byte, BlockSize), nil // hole
+	}
+	raw := make([]byte, e.clen)
+	if err := f.readLower(raw, e.off); err != nil {
+		return nil, err
+	}
+	return decompressBlock(raw)
+}
+
+// writeBlockLocked compresses and appends block bn (write-through).
+// Caller holds f.mu with the table loaded.
+func (f *compFile) writeBlockLocked(bn int64, data []byte) error {
+	comp, err := compressBlock(data)
+	if err != nil {
+		return err
+	}
+	off := f.tbl.nextFree
+	if _, err := f.lower.WriteAt(comp, off); err != nil {
+		return err
+	}
+	f.tbl.nextFree = off + int64(len(comp))
+	f.tbl.blocks[bn] = extent{off: off, clen: int32(len(comp))}
+	f.tblDirty = true
+	f.fs.UncompressedBytes.Add(BlockSize)
+	f.fs.CompressedBytes.Add(int64(len(comp)))
+	return nil
+}
+
+// ---- file interface ----
+
+// ReadAt implements fsys.File.
+func (f *compFile) ReadAt(p []byte, off int64) (int, error) {
+	f.ensureBound()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return 0, err
+	}
+	length := f.tbl.uncompLen
+	if off >= length {
+		return 0, io.EOF
+	}
+	n := len(p)
+	var eof bool
+	if off+int64(n) > length {
+		n = int(length - off)
+		eof = true
+	}
+	done := 0
+	for done < n {
+		bn := (off + int64(done)) / BlockSize
+		bo := (off + int64(done)) % BlockSize
+		blk, err := f.readBlockLocked(bn)
+		if err != nil {
+			return done, err
+		}
+		done += copy(p[done:n], blk[bo:])
+	}
+	if eof {
+		return done, io.EOF
+	}
+	return done, nil
+}
+
+// WriteAt implements fsys.File: read-modify-write at block granularity,
+// written through compressed.
+func (f *compFile) WriteAt(p []byte, off int64) (int, error) {
+	f.ensureBound()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return 0, err
+	}
+	done := 0
+	for done < len(p) {
+		bn := (off + int64(done)) / BlockSize
+		bo := (off + int64(done)) % BlockSize
+		var blk []byte
+		chunk := BlockSize - bo
+		if int64(len(p)-done) < chunk {
+			chunk = int64(len(p) - done)
+		}
+		if bo == 0 && chunk == BlockSize {
+			blk = make([]byte, BlockSize)
+		} else {
+			var err error
+			blk, err = f.readBlockLocked(bn)
+			if err != nil {
+				return done, err
+			}
+		}
+		copy(blk[bo:], p[done:done+int(chunk)])
+		if err := f.writeBlockLocked(bn, blk); err != nil {
+			return done, err
+		}
+		done += int(chunk)
+	}
+	if off+int64(done) > f.tbl.uncompLen {
+		f.tbl.uncompLen = off + int64(done)
+		f.tblDirty = true
+	}
+	return done, nil
+}
+
+// Bind implements vm.MemoryObject: COMPFS is the pager for file_COMP (the
+// P2/C2 connection of Figure 5); binds terminate here, unlike DFS's
+// forwarding, because the exported data differs from the underlying data
+// so no cache sharing is possible (Section 4.2.2, last paragraph).
+func (f *compFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
+	rights, _, _ := f.fs.table.Bind(caller, f.backing, func() vm.PagerObject {
+		return &compPager{file: f}
+	})
+	return rights, nil
+}
+
+// GetLength implements vm.MemoryObject.
+func (f *compFile) GetLength() (vm.Offset, error) {
+	f.ensureBound()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return 0, err
+	}
+	return f.tbl.uncompLen, nil
+}
+
+// SetLength implements vm.MemoryObject.
+func (f *compFile) SetLength(length vm.Offset) error {
+	f.ensureBound()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return err
+	}
+	if length < f.tbl.uncompLen {
+		for bn := range f.tbl.blocks {
+			if bn*BlockSize >= length {
+				delete(f.tbl.blocks, bn)
+			}
+		}
+	}
+	f.tbl.uncompLen = length
+	f.tblDirty = true
+	return nil
+}
+
+// Stat implements fsys.File: length is the uncompressed length; times come
+// from the underlying file.
+func (f *compFile) Stat() (fsys.Attributes, error) {
+	lowerAttrs, err := f.lower.Stat()
+	if err != nil {
+		return fsys.Attributes{}, err
+	}
+	length, err := f.GetLength()
+	if err != nil {
+		return fsys.Attributes{}, err
+	}
+	return fsys.Attributes{
+		Length:     length,
+		AccessTime: lowerAttrs.AccessTime,
+		ModifyTime: lowerAttrs.ModifyTime,
+	}, nil
+}
+
+// Sync implements fsys.File: persist the block table and sync below.
+func (f *compFile) Sync() error {
+	f.mu.Lock()
+	if f.tbl != nil && f.tblDirty {
+		if err := f.writeMetaLocked(); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+	}
+	f.mu.Unlock()
+	return f.lower.Sync()
+}
+
+// CompressionRatio reports compressed/uncompressed size for the file's
+// current contents (1.0 = no saving; tests and examples).
+func (f *compFile) CompressionRatio() (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return 0, err
+	}
+	var comp int64
+	for _, e := range f.tbl.blocks {
+		comp += int64(e.clen)
+	}
+	uncomp := int64(len(f.tbl.blocks)) * BlockSize
+	if uncomp == 0 {
+		return 1, nil
+	}
+	return float64(comp) / float64(uncomp), nil
+}
+
+// Compact rewrites the compressed image dropping garbage extents left by
+// the append-only log, returning bytes reclaimed.
+func (f *compFile) Compact() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return 0, err
+	}
+	oldEnd := f.tbl.nextFree
+	// Read every live block, then rewrite the log densely.
+	type live struct {
+		bn   int64
+		data []byte
+	}
+	var blocks []live
+	for bn := range f.tbl.blocks {
+		data, err := f.readBlockLocked(bn)
+		if err != nil {
+			return 0, err
+		}
+		blocks = append(blocks, live{bn, data})
+	}
+	f.tbl.blocks = make(map[int64]extent, len(blocks))
+	f.tbl.nextFree = HeaderSize
+	for _, lb := range blocks {
+		if err := f.writeBlockLocked(lb.bn, lb.data); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.writeMetaLocked(); err != nil {
+		return 0, err
+	}
+	if err := f.lower.SetLength(f.tbl.nextFree); err != nil {
+		return 0, err
+	}
+	reclaimed := oldEnd - f.tbl.nextFree
+	if reclaimed < 0 {
+		reclaimed = 0
+	}
+	return reclaimed, nil
+}
+
+// compPager is the pager COMPFS exports for file_COMP: page-ins
+// uncompress, page-outs compress (the P2 object of Figure 5).
+type compPager struct {
+	file *compFile
+}
+
+var _ fsys.FsPagerObject = (*compPager)(nil)
+
+// PageIn implements vm.PagerObject.
+func (p *compPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, error) {
+	if !vm.PageAligned(offset, size) {
+		return nil, vm.ErrUnaligned
+	}
+	f := p.file
+	f.ensureBound()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	for bn := offset / BlockSize; bn*BlockSize < offset+size; bn++ {
+		blk, err := f.readBlockLocked(bn)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[bn*BlockSize-offset:], blk)
+	}
+	return out, nil
+}
+
+// PageOut implements vm.PagerObject.
+func (p *compPager) PageOut(offset, size vm.Offset, data []byte) error {
+	if !vm.PageAligned(offset, size) {
+		return vm.ErrUnaligned
+	}
+	f := p.file
+	f.ensureBound()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.loadTableLocked(); err != nil {
+		return err
+	}
+	for bn := offset / BlockSize; bn*BlockSize < offset+size; bn++ {
+		if err := f.writeBlockLocked(bn, data[bn*BlockSize-offset:(bn+1)*BlockSize-offset]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteOut implements vm.PagerObject.
+func (p *compPager) WriteOut(offset, size vm.Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// Sync implements vm.PagerObject.
+func (p *compPager) Sync(offset, size vm.Offset, data []byte) error {
+	if err := p.PageOut(offset, size, data); err != nil {
+		return err
+	}
+	return p.file.Sync()
+}
+
+// DoneWithPagerObject implements vm.PagerObject.
+func (p *compPager) DoneWithPagerObject() {}
+
+// GetAttributes implements fsys.FsPagerObject.
+func (p *compPager) GetAttributes() (fsys.Attributes, error) { return p.file.Stat() }
+
+// SetAttributes implements fsys.FsPagerObject.
+func (p *compPager) SetAttributes(attrs fsys.Attributes) error {
+	// Times are tracked by the underlying file; only length is COMPFS
+	// metadata.
+	return p.file.SetLength(attrs.Length)
+}

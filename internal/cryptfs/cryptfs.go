@@ -1,0 +1,453 @@
+// Package cryptfs implements an encrypting file system layer — encryption
+// is one of the motivating examples of new file system functionality in
+// the paper's introduction ("Examples of new functionality that may need
+// to be added include compression, replication, encryption, ...").
+//
+// The layer encrypts each 4 KiB block independently with AES-CTR, using a
+// per-block IV derived from the block number, so the transformation is
+// length-preserving: the underlying file has exactly the uncompressed
+// length and offsets map one-to-one. That makes the layer a minimal
+// worked example of a transforming stackable layer, in contrast to COMPFS
+// whose transformation changes sizes and needs its own on-disk layout.
+//
+// Like COMPFS, the exported data differs from the underlying data, so no
+// cache sharing with the layer below is possible; the layer is the pager
+// for its files. Writes are write-through. For a fully coherent stack,
+// stack a coherency layer on top (Section 6.3).
+package cryptfs
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// BlockSize is the encryption granularity (one VM page).
+const BlockSize = vm.PageSize
+
+// CryptFS is an instance of the encrypting layer.
+type CryptFS struct {
+	name   string
+	domain *spring.Domain
+	block  cipher.Block
+	table  *fsys.ConnectionTable
+
+	mu          sync.Mutex
+	under       fsys.StackableFS
+	files       map[any]*cryptFile
+	nextBacking atomic.Uint64
+}
+
+var (
+	_ fsys.StackableFS      = (*CryptFS)(nil)
+	_ naming.ProxyWrappable = (*CryptFS)(nil)
+)
+
+// New creates an encrypting layer; the AES key is derived from passphrase.
+func New(domain *spring.Domain, name, passphrase string) (*CryptFS, error) {
+	key := sha256.Sum256([]byte(passphrase))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return &CryptFS{
+		name:   name,
+		domain: domain,
+		block:  block,
+		table:  fsys.NewConnectionTable(domain),
+		files:  make(map[any]*cryptFile),
+	}, nil
+}
+
+// NewCreator returns a stackable_fs_creator; config key "passphrase" sets
+// the key material.
+func NewCreator(domain *spring.Domain) fsys.Creator {
+	var n atomic.Uint64
+	return fsys.CreatorFunc(func(config map[string]string) (fsys.StackableFS, error) {
+		name := config["name"]
+		if name == "" {
+			name = fmt.Sprintf("cryptfs%d", n.Add(1))
+		}
+		pass := config["passphrase"]
+		if pass == "" {
+			return nil, fmt.Errorf("cryptfs: config key %q is required", "passphrase")
+		}
+		return New(domain, name, pass)
+	})
+}
+
+// FSName implements fsys.FS.
+func (c *CryptFS) FSName() string { return c.name }
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (c *CryptFS) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.WrapStackable(ch, c)
+}
+
+// StackOn implements fsys.StackableFS.
+func (c *CryptFS) StackOn(under fsys.StackableFS) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.under != nil {
+		return fsys.ErrAlreadyStacked
+	}
+	c.under = under
+	return nil
+}
+
+func (c *CryptFS) underlying() (fsys.StackableFS, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.under == nil {
+		return nil, fsys.ErrNotStacked
+	}
+	return c.under, nil
+}
+
+// xorBlock encrypts or decrypts (CTR is symmetric) one block in place; the
+// IV is derived from the block number so random access works.
+func (c *CryptFS) xorBlock(bn int64, data []byte) {
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[:], uint64(bn)+1)
+	stream := cipher.NewCTR(c.block, iv[:])
+	stream.XORKeyStream(data, data)
+}
+
+// fileFor returns the canonical encrypted wrapper.
+func (c *CryptFS) fileFor(lower fsys.File) *cryptFile {
+	key := fsys.CanonicalKey(lower)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.files[key]; ok {
+		return f
+	}
+	f := &cryptFile{fs: c, lower: lower, backing: c.nextBacking.Add(1)}
+	c.files[key] = f
+	return f
+}
+
+// Create implements fsys.FS.
+func (c *CryptFS) Create(name string, cred naming.Credentials) (fsys.File, error) {
+	under, err := c.underlying()
+	if err != nil {
+		return nil, err
+	}
+	lower, err := under.Create(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return c.fileFor(lower), nil
+}
+
+// Open implements fsys.FS.
+func (c *CryptFS) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	obj, err := c.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.AsFile(obj)
+}
+
+// Remove implements fsys.FS.
+func (c *CryptFS) Remove(name string, cred naming.Credentials) error {
+	under, err := c.underlying()
+	if err != nil {
+		return err
+	}
+	if obj, rerr := under.Resolve(name, cred); rerr == nil {
+		if lf, ok := obj.(fsys.File); ok {
+			c.mu.Lock()
+			delete(c.files, fsys.CanonicalKey(lf))
+			c.mu.Unlock()
+		}
+	}
+	return under.Remove(name, cred)
+}
+
+// SyncFS implements fsys.FS.
+func (c *CryptFS) SyncFS() error {
+	under, err := c.underlying()
+	if err != nil {
+		return err
+	}
+	return under.SyncFS()
+}
+
+// Resolve implements naming.Context.
+func (c *CryptFS) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	under, err := c.underlying()
+	if err != nil {
+		return nil, err
+	}
+	obj, err := under.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	if lf, ok := obj.(fsys.File); ok {
+		return c.fileFor(lf), nil
+	}
+	return obj, nil
+}
+
+// Bind implements naming.Context.
+func (c *CryptFS) Bind(name string, obj naming.Object, cred naming.Credentials) error {
+	under, err := c.underlying()
+	if err != nil {
+		return err
+	}
+	if f, ok := obj.(*cryptFile); ok && f.fs == c {
+		obj = f.lower
+	}
+	return under.Bind(name, obj, cred)
+}
+
+// Unbind implements naming.Context.
+func (c *CryptFS) Unbind(name string, cred naming.Credentials) error {
+	under, err := c.underlying()
+	if err != nil {
+		return err
+	}
+	return under.Unbind(name, cred)
+}
+
+// List implements naming.Context.
+func (c *CryptFS) List(cred naming.Credentials) ([]naming.Binding, error) {
+	under, err := c.underlying()
+	if err != nil {
+		return nil, err
+	}
+	out, err := under.List(cred)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if lf, ok := out[i].Object.(fsys.File); ok {
+			out[i].Object = c.fileFor(lf)
+		}
+	}
+	return out, nil
+}
+
+// CreateContext implements naming.Context.
+func (c *CryptFS) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
+	under, err := c.underlying()
+	if err != nil {
+		return nil, err
+	}
+	return under.CreateContext(name, cred)
+}
+
+// cryptFile is one encrypted file.
+type cryptFile struct {
+	fs      *CryptFS
+	lower   fsys.File
+	backing uint64
+	mu      sync.Mutex // serialises read-modify-write cycles
+}
+
+var (
+	_ fsys.File             = (*cryptFile)(nil)
+	_ naming.ProxyWrappable = (*cryptFile)(nil)
+)
+
+// Lower returns the underlying (ciphertext) file.
+func (f *cryptFile) Lower() fsys.File { return f.lower }
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (f *cryptFile) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.NewFileProxy(ch, f)
+}
+
+// readBlock returns the plaintext of block bn.
+func (f *cryptFile) readBlock(bn int64) ([]byte, error) {
+	buf := make([]byte, BlockSize)
+	if _, err := f.lower.ReadAt(buf, bn*BlockSize); err != nil && err != io.EOF {
+		return nil, err
+	}
+	f.fs.xorBlock(bn, buf)
+	return buf, nil
+}
+
+// writeBlock encrypts and writes block bn.
+func (f *cryptFile) writeBlock(bn int64, plain []byte) error {
+	ct := make([]byte, BlockSize)
+	copy(ct, plain)
+	f.fs.xorBlock(bn, ct)
+	_, err := f.lower.WriteAt(ct, bn*BlockSize)
+	return err
+}
+
+// ReadAt implements fsys.File.
+func (f *cryptFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	length, err := f.lower.GetLength()
+	if err != nil {
+		return 0, err
+	}
+	if off >= length {
+		return 0, io.EOF
+	}
+	n := len(p)
+	var eof bool
+	if off+int64(n) > length {
+		n = int(length - off)
+		eof = true
+	}
+	done := 0
+	for done < n {
+		bn := (off + int64(done)) / BlockSize
+		bo := (off + int64(done)) % BlockSize
+		blk, err := f.readBlock(bn)
+		if err != nil {
+			return done, err
+		}
+		done += copy(p[done:n], blk[bo:])
+	}
+	if eof {
+		return done, io.EOF
+	}
+	return done, nil
+}
+
+// WriteAt implements fsys.File (read-modify-write per block,
+// write-through).
+func (f *cryptFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prevLen, err := f.lower.GetLength()
+	if err != nil {
+		return 0, err
+	}
+	done := 0
+	for done < len(p) {
+		bn := (off + int64(done)) / BlockSize
+		bo := (off + int64(done)) % BlockSize
+		chunk := BlockSize - bo
+		if int64(len(p)-done) < chunk {
+			chunk = int64(len(p) - done)
+		}
+		var blk []byte
+		if bo == 0 && chunk == BlockSize {
+			blk = make([]byte, BlockSize)
+		} else {
+			var err error
+			blk, err = f.readBlock(bn)
+			if err != nil {
+				return done, err
+			}
+		}
+		copy(blk[bo:], p[done:done+int(chunk)])
+		if err := f.writeBlock(bn, blk); err != nil {
+			return done, err
+		}
+		done += int(chunk)
+	}
+	// Block writes pad the underlying file to a block boundary; restore
+	// the exact logical length (the transformation is length-preserving).
+	want := off + int64(done)
+	if want < prevLen {
+		want = prevLen
+	}
+	if err := f.lower.SetLength(want); err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+// Stat implements fsys.File.
+func (f *cryptFile) Stat() (fsys.Attributes, error) { return f.lower.Stat() }
+
+// Sync implements fsys.File.
+func (f *cryptFile) Sync() error { return f.lower.Sync() }
+
+// Bind implements vm.MemoryObject: the layer is the pager for its files.
+func (f *cryptFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
+	rights, _, _ := f.fs.table.Bind(caller, f.backing, func() vm.PagerObject {
+		return &cryptPager{file: f}
+	})
+	return rights, nil
+}
+
+// GetLength implements vm.MemoryObject.
+func (f *cryptFile) GetLength() (vm.Offset, error) { return f.lower.GetLength() }
+
+// SetLength implements vm.MemoryObject.
+func (f *cryptFile) SetLength(l vm.Offset) error { return f.lower.SetLength(l) }
+
+// cryptPager decrypts on page-in and encrypts on page-out.
+type cryptPager struct {
+	file *cryptFile
+}
+
+var _ fsys.FsPagerObject = (*cryptPager)(nil)
+
+// PageIn implements vm.PagerObject.
+func (p *cryptPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, error) {
+	if !vm.PageAligned(offset, size) {
+		return nil, vm.ErrUnaligned
+	}
+	p.file.mu.Lock()
+	defer p.file.mu.Unlock()
+	out := make([]byte, size)
+	for bn := offset / BlockSize; bn*BlockSize < offset+size; bn++ {
+		blk, err := p.file.readBlock(bn)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[bn*BlockSize-offset:], blk)
+	}
+	return out, nil
+}
+
+// PageOut implements vm.PagerObject. A page-out never changes the logical
+// file length (length updates arrive through SetLength); the block padding
+// it causes below is trimmed back.
+func (p *cryptPager) PageOut(offset, size vm.Offset, data []byte) error {
+	if !vm.PageAligned(offset, size) {
+		return vm.ErrUnaligned
+	}
+	p.file.mu.Lock()
+	defer p.file.mu.Unlock()
+	prevLen, err := p.file.lower.GetLength()
+	if err != nil {
+		return err
+	}
+	for bn := offset / BlockSize; bn*BlockSize < offset+size; bn++ {
+		if err := p.file.writeBlock(bn, data[bn*BlockSize-offset:(bn+1)*BlockSize-offset]); err != nil {
+			return err
+		}
+	}
+	return p.file.lower.SetLength(prevLen)
+}
+
+// WriteOut implements vm.PagerObject.
+func (p *cryptPager) WriteOut(offset, size vm.Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// Sync implements vm.PagerObject.
+func (p *cryptPager) Sync(offset, size vm.Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// DoneWithPagerObject implements vm.PagerObject.
+func (p *cryptPager) DoneWithPagerObject() {}
+
+// GetAttributes implements fsys.FsPagerObject.
+func (p *cryptPager) GetAttributes() (fsys.Attributes, error) { return p.file.Stat() }
+
+// SetAttributes implements fsys.FsPagerObject.
+func (p *cryptPager) SetAttributes(attrs fsys.Attributes) error {
+	return p.file.SetLength(attrs.Length)
+}

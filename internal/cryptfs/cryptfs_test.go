@@ -1,0 +1,269 @@
+package cryptfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/coherency"
+	"springfs/internal/disklayer"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+type rig struct {
+	node  *spring.Node
+	sfs   *coherency.CohFS
+	crypt *CryptFS
+	vmm   *vm.VMM
+}
+
+func newRig(t *testing.T, passphrase string) *rig {
+	t.Helper()
+	node := spring.NewNode("n")
+	t.Cleanup(node.Stop)
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	dev := blockdev.NewMem(1024, blockdev.ProfileNone)
+	if err := disklayer.Mkfs(dev, disklayer.MkfsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	domain := spring.NewDomain(node, "disk")
+	disk, err := disklayer.Mount(dev, domain, vmm, "disk0a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfs := coherency.New(domain, vmm, "sfs")
+	if err := sfs.StackOn(disk); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(spring.NewDomain(node, "crypt"), "cryptfs", passphrase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StackOn(sfs); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{node: node, sfs: sfs, crypt: c, vmm: vmm}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := newRig(t, "secret")
+	f, err := r.crypt.Create("sealed", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("plaintext through the layer, ciphertext below")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestUnderlyingIsCiphertext(t *testing.T) {
+	r := newRig(t, "secret")
+	f, err := r.crypt.Create("sealed", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("THIS MUST NOT APPEAR BELOW IN THE CLEAR")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	lower, err := r.sfs.Open("sealed", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, len(msg))
+	if _, err := lower.ReadAt(raw, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw, msg) {
+		t.Error("underlying file holds the plaintext")
+	}
+	if bytes.Contains(raw, []byte("APPEAR")) {
+		t.Error("plaintext fragment leaked below")
+	}
+	// Length is preserved exactly.
+	l, err := lower.GetLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != int64(len(msg)) {
+		t.Errorf("underlying length = %d, want %d", l, len(msg))
+	}
+}
+
+func TestWrongKeyYieldsGarbage(t *testing.T) {
+	r := newRig(t, "right-key")
+	f, err := r.crypt.Create("locked", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("only readable with the right key")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := New(spring.NewDomain(r.node, "crypt2"), "cryptfs2", "wrong-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.StackOn(r.sfs); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := wrong.Open("locked", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Error("wrong key decrypted the data")
+	}
+}
+
+func TestUnalignedReadModifyWrite(t *testing.T) {
+	r := newRig(t, "k")
+	f, err := r.crypt.Create("rmw", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte("ab"), BlockSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a span crossing a block boundary at odd offsets.
+	patch := []byte("PATCHED-ACROSS-THE-BOUNDARY")
+	off := int64(BlockSize - 10)
+	if _, err := f.WriteAt(patch, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(patch))
+	if _, err := f.ReadAt(got, off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, patch) {
+		t.Errorf("patched read = %q", got)
+	}
+	// Data before the patch survived.
+	before := make([]byte, 4)
+	if _, err := f.ReadAt(before, off-4); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(before) != "abab" {
+		t.Errorf("pre-patch bytes = %q", before)
+	}
+}
+
+func TestMappedAccess(t *testing.T) {
+	r := newRig(t, "k")
+	f, err := r.crypt.Create("mapped", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("mapped plaintext")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.vmm.Map(f, vm.RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("mapped read = %q", got)
+	}
+	if _, err := m.WriteAt([]byte("VIA-MAP"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, 7)
+	if _, err := f.ReadAt(got2, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got2) != "VIA-MAP" {
+		t.Errorf("file read after mapped write = %q", got2)
+	}
+}
+
+func TestEOFSemantics(t *testing.T) {
+	r := newRig(t, "k")
+	f, err := r.crypt.Create("eof", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("12345"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.ReadAt(make([]byte, 4), 5); n != 0 || err != io.EOF {
+		t.Errorf("read at EOF = %d, %v", n, err)
+	}
+	buf := make([]byte, 10)
+	if n, err := f.ReadAt(buf, 3); n != 2 || err != io.EOF {
+		t.Errorf("read crossing EOF = %d, %v", n, err)
+	}
+}
+
+func TestCreatorRequiresPassphrase(t *testing.T) {
+	node := spring.NewNode("n")
+	defer node.Stop()
+	creator := NewCreator(spring.NewDomain(node, "c"))
+	if _, err := creator.CreateFS(nil); err == nil {
+		t.Error("creator without passphrase succeeded")
+	}
+	if _, err := creator.CreateFS(map[string]string{"passphrase": "x"}); err != nil {
+		t.Errorf("creator with passphrase failed: %v", err)
+	}
+}
+
+func TestPropertyRoundTripMatchesModel(t *testing.T) {
+	r := newRig(t, "prop-key")
+	f, err := r.crypt.Create("model", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const space = 6 * BlockSize
+	model := make([]byte, space)
+	var length int64
+	prop := func(offRaw uint32, lenRaw uint16, seed byte) bool {
+		off := int64(offRaw) % (space - 2048)
+		n := int64(lenRaw)%2048 + 1
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = seed ^ byte(i*11)
+		}
+		if _, err := f.WriteAt(data, off); err != nil {
+			return false
+		}
+		copy(model[off:], data)
+		if off+n > length {
+			length = off + n
+		}
+		if l, _ := f.GetLength(); l != length {
+			t.Logf("length = %d, want %d", l, length)
+			return false
+		}
+		got := make([]byte, n)
+		if _, err := f.ReadAt(got, off); err != nil && err != io.EOF {
+			return false
+		}
+		return bytes.Equal(got, model[off:off+n])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,482 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/stats"
+	"springfs/internal/vm"
+)
+
+// Client is the remote-machine half of DFS: it speaks the protocol to a
+// Server and exposes the exported files as ordinary Spring files. A remote
+// file is a memory object whose pager forwards page traffic over the wire;
+// the local VMM binds to it like any local file, so remote files are
+// cached per node and kept coherent by the server's callbacks.
+//
+// Without CFS interposed, all file read/write/stat operations also go to
+// the remote DFS (Section 6.2: "If it is not running ... all file
+// operations go to the remote DFS"). The cfs package layers local caching
+// on top.
+type Client struct {
+	name   string
+	domain *spring.Domain
+	peer   *peer
+
+	mu    sync.Mutex
+	files map[uint64]*RemoteFile // by fileID
+
+	// RemoteCalls counts protocol requests issued; CallbacksServed counts
+	// coherency callbacks handled.
+	RemoteCalls     stats.Counter
+	CallbacksServed stats.Counter
+}
+
+// NewClient speaks the protocol over conn. Remote files' pager objects are
+// served from domain.
+func NewClient(conn net.Conn, domain *spring.Domain, name string) *Client {
+	c := &Client{
+		name:   name,
+		domain: domain,
+		files:  make(map[uint64]*RemoteFile),
+	}
+	c.peer = newPeer(conn, c.handleCallback, nil)
+	return c
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.peer.Close() }
+
+// call issues one protocol request.
+func (c *Client) call(op Op, payload []byte) ([]byte, error) {
+	c.RemoteCalls.Inc()
+	return c.peer.call(op, payload)
+}
+
+// fileFor returns the canonical RemoteFile for a fileID.
+func (c *Client) fileFor(id uint64) *RemoteFile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.files[id]; ok {
+		return f
+	}
+	f := &RemoteFile{client: c, id: id, table: fsys.NewConnectionTable(c.domain)}
+	c.files[id] = f
+	return f
+}
+
+// Open resolves a remote path to a file.
+func (c *Client) Open(path string) (*RemoteFile, error) {
+	var e encoder
+	e.str(path)
+	body, err := c.call(OpLookup, e.b)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{b: body}
+	id := d.u64()
+	attrs := decodeAttrs(&d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f := c.fileFor(id)
+	f.attrs.Set(attrs)
+	return f, nil
+}
+
+// Create creates a remote file.
+func (c *Client) Create(path string) (*RemoteFile, error) {
+	var e encoder
+	e.str(path)
+	body, err := c.call(OpCreate, e.b)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{b: body}
+	id := d.u64()
+	attrs := decodeAttrs(&d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f := c.fileFor(id)
+	f.attrs.Set(attrs)
+	return f, nil
+}
+
+// Remove removes a remote file.
+func (c *Client) Remove(path string) error {
+	var e encoder
+	e.str(path)
+	_, err := c.call(OpRemove, e.b)
+	return err
+}
+
+// Mkdir creates a remote directory.
+func (c *Client) Mkdir(path string) error {
+	var e encoder
+	e.str(path)
+	_, err := c.call(OpMkdir, e.b)
+	return err
+}
+
+// DirEntry is one remote directory entry.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// List lists a remote directory ("" for the export root).
+func (c *Client) List(path string) ([]DirEntry, error) {
+	var e encoder
+	e.str(path)
+	body, err := c.call(OpList, e.b)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{b: body}
+	n := d.u32()
+	out := make([]DirEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name := d.str()
+		isDir := d.u8() == 1
+		if d.err != nil {
+			return nil, d.err
+		}
+		out = append(out, DirEntry{Name: name, IsDir: isDir})
+	}
+	return out, nil
+}
+
+// handleCallback serves server-initiated coherency callbacks by applying
+// the corresponding cache-object operation to every local cache manager
+// bound to the file and returning any modified data.
+func (c *Client) handleCallback(op Op, payload []byte) ([]byte, error) {
+	c.CallbacksServed.Inc()
+	d := decoder{b: payload}
+	fileID := d.u64()
+	c.mu.Lock()
+	f := c.files[fileID]
+	c.mu.Unlock()
+
+	switch op {
+	case OpCbFlushBack, OpCbDenyWrites, OpCbDeleteRange:
+		offset := d.i64()
+		size := d.i64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		var dirty []vm.Data
+		if f != nil {
+			for _, conn := range f.table.ConnectionsFor(fileID) {
+				switch op {
+				case OpCbFlushBack:
+					dirty = append(dirty, conn.Cache.FlushBack(offset, size)...)
+				case OpCbDenyWrites:
+					dirty = append(dirty, conn.Cache.DenyWrites(offset, size)...)
+				case OpCbDeleteRange:
+					conn.Cache.DeleteRange(offset, size)
+				}
+			}
+		}
+		var e encoder
+		e.u32(uint32(len(dirty)))
+		for _, ext := range dirty {
+			e.i64(ext.Offset)
+			e.bytes(ext.Bytes)
+		}
+		return e.b, nil
+
+	case OpCbInvalAttrs:
+		flush := d.u8() == 1
+		if d.err != nil {
+			return nil, d.err
+		}
+		var e encoder
+		if f == nil {
+			e.u8(0)
+			encodeAttrs(&e, fsys.Attributes{})
+			return e.b, nil
+		}
+		if flush {
+			attrs, dirty := f.attrs.Flush()
+			if dirty {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+			encodeAttrs(&e, attrs)
+			return e.b, nil
+		}
+		f.attrs.Invalidate()
+		e.u8(0)
+		encodeAttrs(&e, fsys.Attributes{})
+		return e.b, nil
+
+	default:
+		return nil, &ErrRemote{Msg: "unexpected callback " + op.String()}
+	}
+}
+
+// RemoteFile is a file exported by a DFS server, viewed from a remote
+// machine. It implements the Spring file interface: it can be mapped (the
+// local VMM binds to it and its pager forwards page traffic over the
+// protocol) and read/written (operations go to the remote DFS unless CFS
+// is interposed).
+type RemoteFile struct {
+	client *Client
+	id     uint64
+	table  *fsys.ConnectionTable
+
+	// attrs caches attributes locally. It is only consulted when attribute
+	// caching is enabled (by CFS); the server's callbacks keep it
+	// coherent either way.
+	attrs     fsys.AttrCache
+	attrCache bool
+	amu       sync.Mutex
+}
+
+var (
+	_ fsys.File             = (*RemoteFile)(nil)
+	_ naming.ProxyWrappable = (*RemoteFile)(nil)
+)
+
+// ID returns the protocol file id (tests).
+func (f *RemoteFile) ID() uint64 { return f.id }
+
+// Client returns the owning client.
+func (f *RemoteFile) Client() *Client { return f.client }
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (f *RemoteFile) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.NewFileProxy(ch, f)
+}
+
+// EnableAttrCaching turns the local attribute cache on; CFS calls this
+// when it interposes on the file (Section 6.2: CFS caches file attributes
+// using the fs_pager and fs_cache objects).
+func (f *RemoteFile) EnableAttrCaching() {
+	f.amu.Lock()
+	defer f.amu.Unlock()
+	f.attrCache = true
+}
+
+// Bind implements vm.MemoryObject: the local VMM (or any local cache
+// manager) binds here; the pager it is connected to forwards page traffic
+// to the remote DFS.
+func (f *RemoteFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
+	rights, _, _ := f.table.Bind(caller, f.id, func() vm.PagerObject {
+		return &remotePager{file: f}
+	})
+	return rights, nil
+}
+
+// GetLength implements vm.MemoryObject. With attribute caching enabled
+// the length comes from the cached attributes (fetching and caching them
+// on miss); otherwise it is a remote call.
+func (f *RemoteFile) GetLength() (vm.Offset, error) {
+	f.amu.Lock()
+	cached := f.attrCache
+	f.amu.Unlock()
+	if cached {
+		attrs, err := f.Stat()
+		if err != nil {
+			return 0, err
+		}
+		return attrs.Length, nil
+	}
+	var e encoder
+	e.u64(f.id)
+	body, err := f.client.call(OpGetLen, e.b)
+	if err != nil {
+		return 0, err
+	}
+	d := decoder{b: body}
+	l := d.i64()
+	return l, d.err
+}
+
+// SetLength implements vm.MemoryObject.
+func (f *RemoteFile) SetLength(l vm.Offset) error {
+	f.attrs.Invalidate()
+	var e encoder
+	e.u64(f.id)
+	e.i64(l)
+	_, err := f.client.call(OpSetLen, e.b)
+	return err
+}
+
+// ReadAt implements fsys.File; the read goes to the remote DFS.
+func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
+	var e encoder
+	e.u64(f.id)
+	e.i64(off)
+	e.u32(uint32(len(p)))
+	body, err := f.client.call(OpRead, e.b)
+	if err != nil {
+		return 0, err
+	}
+	d := decoder{b: body}
+	eof := d.u8() == 1
+	data := d.bytes()
+	if d.err != nil {
+		return 0, d.err
+	}
+	n := copy(p, data)
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements fsys.File.
+func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
+	f.attrs.Invalidate()
+	var e encoder
+	e.u64(f.id)
+	e.i64(off)
+	e.bytes(p)
+	body, err := f.client.call(OpWrite, e.b)
+	if err != nil {
+		return 0, err
+	}
+	d := decoder{b: body}
+	n := int(d.u32())
+	return n, d.err
+}
+
+// Stat implements fsys.File.
+func (f *RemoteFile) Stat() (fsys.Attributes, error) {
+	f.amu.Lock()
+	cached := f.attrCache
+	f.amu.Unlock()
+	if cached {
+		if attrs, ok := f.attrs.Get(); ok {
+			return attrs, nil
+		}
+	}
+	var e encoder
+	e.u64(f.id)
+	body, err := f.client.call(OpGetAttr, e.b)
+	if err != nil {
+		return fsys.Attributes{}, err
+	}
+	d := decoder{b: body}
+	attrs := decodeAttrs(&d)
+	if d.err != nil {
+		return fsys.Attributes{}, d.err
+	}
+	if cached {
+		f.attrs.Set(attrs)
+	}
+	return attrs, nil
+}
+
+// Sync implements fsys.File.
+func (f *RemoteFile) Sync() error {
+	var e encoder
+	e.u64(f.id)
+	_, err := f.client.call(OpSyncFile, e.b)
+	return err
+}
+
+// Close releases the server-side session for this file.
+func (f *RemoteFile) Close() error {
+	var e encoder
+	e.u64(f.id)
+	_, err := f.client.call(OpClose, e.b)
+	return err
+}
+
+// remotePager forwards pager operations over the protocol. It narrows to
+// fs_pager so local cache managers can run the attribute protocol.
+type remotePager struct {
+	file *RemoteFile
+}
+
+var (
+	_ fsys.FsPagerObject = (*remotePager)(nil)
+	_ vm.HintedPager     = (*remotePager)(nil)
+)
+
+// PageIn implements vm.PagerObject.
+func (p *remotePager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, error) {
+	return p.PageInHint(offset, size, size, access)
+}
+
+// PageInHint implements vm.HintedPager: the min/max range travels in the
+// protocol request, so a single round trip can return a cluster of blocks
+// (the paper's Section 8 read-ahead extension, applied across machines
+// where it matters most).
+func (p *remotePager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rights) ([]byte, error) {
+	var e encoder
+	e.u64(p.file.id)
+	e.i64(offset)
+	e.i64(minSize)
+	e.i64(maxSize)
+	e.u8(uint8(access))
+	body, err := p.file.client.call(OpPageIn, e.b)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{b: body}
+	data := d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func (p *remotePager) pageOut(offset, size vm.Offset, data []byte, retain uint8) error {
+	var e encoder
+	e.u64(p.file.id)
+	e.i64(offset)
+	e.u8(retain)
+	e.bytes(data[:size])
+	_, err := p.file.client.call(OpPageOut, e.b)
+	return err
+}
+
+// PageOut implements vm.PagerObject.
+func (p *remotePager) PageOut(offset, size vm.Offset, data []byte) error {
+	return p.pageOut(offset, size, data, RetainNone)
+}
+
+// WriteOut implements vm.PagerObject.
+func (p *remotePager) WriteOut(offset, size vm.Offset, data []byte) error {
+	return p.pageOut(offset, size, data, RetainRead)
+}
+
+// Sync implements vm.PagerObject.
+func (p *remotePager) Sync(offset, size vm.Offset, data []byte) error {
+	return p.pageOut(offset, size, data, RetainWrite)
+}
+
+// DoneWithPagerObject implements vm.PagerObject.
+func (p *remotePager) DoneWithPagerObject() {
+	_ = p.file.Close()
+}
+
+// GetAttributes implements fsys.FsPagerObject.
+func (p *remotePager) GetAttributes() (fsys.Attributes, error) { return p.file.Stat() }
+
+// SetAttributes implements fsys.FsPagerObject.
+func (p *remotePager) SetAttributes(attrs fsys.Attributes) error {
+	p.file.attrs.Invalidate()
+	var e encoder
+	e.u64(p.file.id)
+	encodeAttrs(&e, attrs)
+	_, err := p.file.client.call(OpSetAttr, e.b)
+	return err
+}
+
+// String implements fmt.Stringer (diagnostics).
+func (f *RemoteFile) String() string {
+	return fmt.Sprintf("dfs:%s/file%d", f.client.name, f.id)
+}

@@ -1,0 +1,379 @@
+package dfs
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/vm"
+)
+
+// srvClient is the server-side state of one protocol connection.
+type srvClient struct {
+	srv  *Server
+	peer *peer
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+}
+
+// sessionFor returns (creating if needed) the session for fileID.
+func (c *srvClient) sessionFor(fileID uint64) (*session, error) {
+	lower, err := c.srv.lowerByID(fileID)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if se, ok := c.sessions[fileID]; ok {
+		return se, nil
+	}
+	se := &session{client: c, fileID: fileID, lower: lower}
+	c.sessions[fileID] = se
+	return se, nil
+}
+
+// teardown releases every session after the connection drops.
+func (c *srvClient) teardown() {
+	c.mu.Lock()
+	sessions := make([]*session, 0, len(c.sessions))
+	for _, se := range c.sessions {
+		sessions = append(sessions, se)
+	}
+	c.sessions = make(map[uint64]*session)
+	c.mu.Unlock()
+	for _, se := range sessions {
+		se.release()
+	}
+	c.srv.mu.Lock()
+	delete(c.srv.clients, c)
+	c.srv.mu.Unlock()
+}
+
+func decodeAttrs(d *decoder) fsys.Attributes {
+	length := d.i64()
+	at := d.i64()
+	mt := d.i64()
+	return fsys.Attributes{
+		Length:     length,
+		AccessTime: time.Unix(0, at),
+		ModifyTime: time.Unix(0, mt),
+	}
+}
+
+// handle serves one protocol request.
+func (c *srvClient) handle(op Op, payload []byte) ([]byte, error) {
+	c.srv.RemoteOps.Inc()
+	d := decoder{b: payload}
+	cred := c.srv.cred
+	switch op {
+	case OpLookup:
+		path := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		under, err := c.srv.underlying()
+		if err != nil {
+			return nil, err
+		}
+		lower, err := under.Open(path, cred)
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := lower.Stat()
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		e.u64(c.srv.fileID(lower))
+		encodeAttrs(&e, attrs)
+		return e.b, nil
+
+	case OpCreate:
+		path := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		under, err := c.srv.underlying()
+		if err != nil {
+			return nil, err
+		}
+		lower, err := under.Create(path, cred)
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := lower.Stat()
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		e.u64(c.srv.fileID(lower))
+		encodeAttrs(&e, attrs)
+		return e.b, nil
+
+	case OpRemove:
+		path := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		under, err := c.srv.underlying()
+		if err != nil {
+			return nil, err
+		}
+		return nil, under.Remove(path, cred)
+
+	case OpMkdir:
+		path := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		under, err := c.srv.underlying()
+		if err != nil {
+			return nil, err
+		}
+		_, err = under.CreateContext(path, cred)
+		return nil, err
+
+	case OpList:
+		path := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		under, err := c.srv.underlying()
+		if err != nil {
+			return nil, err
+		}
+		ctx := naming.Context(under)
+		if path != "" {
+			obj, err := under.Resolve(path, cred)
+			if err != nil {
+				return nil, err
+			}
+			sub, ok := obj.(naming.Context)
+			if !ok {
+				return nil, naming.ErrNotContext
+			}
+			ctx = sub
+		}
+		bindings, err := ctx.List(cred)
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		e.u32(uint32(len(bindings)))
+		for _, b := range bindings {
+			e.str(b.Name)
+			_, isDir := b.Object.(naming.Context)
+			if isDir {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+		}
+		return e.b, nil
+
+	case OpRead:
+		fileID := d.u64()
+		off := d.i64()
+		n := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		read, err := lower.ReadAt(buf, off)
+		eof := err == io.EOF
+		if err != nil && !eof {
+			return nil, err
+		}
+		var e encoder
+		if eof {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.bytes(buf[:read])
+		return e.b, nil
+
+	case OpWrite:
+		fileID := d.u64()
+		off := d.i64()
+		data := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		n, err := lower.WriteAt(data, off)
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		e.u32(uint32(n))
+		return e.b, nil
+
+	case OpPageIn:
+		fileID := d.u64()
+		off := d.i64()
+		size := d.i64()
+		maxSize := d.i64()
+		access := vm.Rights(d.u8())
+		if d.err != nil {
+			return nil, d.err
+		}
+		se, err := c.sessionFor(fileID)
+		if err != nil {
+			return nil, err
+		}
+		pager, err := se.ensurePager()
+		if err != nil {
+			return nil, err
+		}
+		var data []byte
+		if hp, ok := pager.(vm.HintedPager); ok && maxSize > size {
+			// The client conveyed a min/max range (the Section 8
+			// read-ahead extension carried over the wire); the home node
+			// may return more data than strictly needed.
+			data, err = hp.PageInHint(off, size, maxSize, access)
+		} else {
+			data, err = pager.PageIn(off, size, access)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		e.bytes(data)
+		return e.b, nil
+
+	case OpPageOut:
+		fileID := d.u64()
+		off := d.i64()
+		retain := d.u8()
+		data := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		se, err := c.sessionFor(fileID)
+		if err != nil {
+			return nil, err
+		}
+		pager, err := se.ensurePager()
+		if err != nil {
+			return nil, err
+		}
+		size := vm.Offset(len(data))
+		switch retain {
+		case RetainNone:
+			err = pager.PageOut(off, size, data)
+		case RetainRead:
+			err = pager.WriteOut(off, size, data)
+		default:
+			err = pager.Sync(off, size, data)
+		}
+		return nil, err
+
+	case OpGetAttr:
+		fileID := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := lower.Stat()
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		encodeAttrs(&e, attrs)
+		return e.b, nil
+
+	case OpSetAttr:
+		fileID := d.u64()
+		attrs := decodeAttrs(&d)
+		if d.err != nil {
+			return nil, d.err
+		}
+		se, err := c.sessionFor(fileID)
+		if err != nil {
+			return nil, err
+		}
+		pager, err := se.ensurePager()
+		if err != nil {
+			return nil, err
+		}
+		se.mu.Lock()
+		fp := se.fsPager
+		se.mu.Unlock()
+		if fp != nil {
+			return nil, fp.SetAttributes(attrs)
+		}
+		_ = pager
+		return nil, se.lower.SetLength(attrs.Length)
+
+	case OpGetLen:
+		fileID := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		l, err := lower.GetLength()
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		e.i64(l)
+		return e.b, nil
+
+	case OpSetLen:
+		fileID := d.u64()
+		l := d.i64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		return nil, lower.SetLength(l)
+
+	case OpSyncFile:
+		fileID := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		return nil, lower.Sync()
+
+	case OpClose:
+		fileID := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		c.mu.Lock()
+		se := c.sessions[fileID]
+		delete(c.sessions, fileID)
+		c.mu.Unlock()
+		if se != nil {
+			se.release()
+		}
+		return nil, nil
+
+	default:
+		return nil, &ErrRemote{Msg: "unknown operation " + op.String()}
+	}
+}

@@ -1,0 +1,67 @@
+package dfs
+
+import (
+	"io"
+	"testing"
+
+	"springfs/internal/naming"
+	"springfs/internal/vm"
+)
+
+// TestRemoteReadAhead verifies the Section 8 read-ahead extension carried
+// over the wire: with page-in hints, a cold sequential scan of a remote
+// file uses a fraction of the protocol round trips.
+func TestRemoteReadAhead(t *testing.T) {
+	const blocks = 32
+	payload := make([]byte, blocks*vm.PageSize)
+	for i := range payload {
+		payload[i] = byte(i / vm.PageSize)
+	}
+
+	run := func(t *testing.T, extra int) int64 {
+		t.Helper()
+		r := newRig(t)
+		local, err := r.srv.Create("seq", naming.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := local.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		remote := r.newRemote("remote-ra")
+		rf, err := remote.client.Open("seq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := remote.vmm.Map(rf, vm.RightsRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Cache().SetReadAhead(extra)
+		// The remote pager must narrow to HintedPager for the hint to
+		// travel.
+		if _, ok := m.Cache().Pager().(vm.HintedPager); !ok {
+			t.Fatal("remote pager does not narrow to HintedPager")
+		}
+		before := remote.client.RemoteCalls.Value()
+		buf := make([]byte, vm.PageSize)
+		for bn := int64(0); bn < blocks; bn++ {
+			if _, err := m.ReadAt(buf, bn*vm.PageSize); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if buf[0] != byte(bn) {
+				t.Fatalf("block %d = %d", bn, buf[0])
+			}
+		}
+		return remote.client.RemoteCalls.Value() - before
+	}
+
+	without := run(t, 0)
+	with := run(t, 7)
+	if without != blocks {
+		t.Errorf("without hints: %d wire calls, want %d", without, blocks)
+	}
+	if with > blocks/4 {
+		t.Errorf("with hints: %d wire calls, want <= %d", with, blocks/4)
+	}
+}

@@ -1,0 +1,194 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// peer is one end of a full-duplex DFS protocol connection. Both sides can
+// issue requests: clients send file operations, the server sends coherency
+// callbacks. Requests are multiplexed by id; responses are matched to
+// their waiting caller.
+type peer struct {
+	conn net.Conn
+
+	wmu    sync.Mutex // serialises frame writes
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	pending  map[uint64]chan frame
+	closed   bool
+	closeErr error
+
+	// handler serves incoming requests; it runs on a fresh goroutine per
+	// request so a handler that itself issues requests cannot starve the
+	// read loop.
+	handler func(op Op, payload []byte) ([]byte, error)
+
+	onClose func(err error)
+}
+
+// newPeer wraps conn and starts the read loop. onClose (optional) runs
+// once when the connection tears down; it must be supplied here, before
+// the read loop starts, so it is never raced with an immediate failure.
+func newPeer(conn net.Conn, handler func(op Op, payload []byte) ([]byte, error), onClose func(err error)) *peer {
+	p := &peer{
+		conn:    conn,
+		pending: make(map[uint64]chan frame),
+		handler: handler,
+		onClose: onClose,
+	}
+	go p.readLoop()
+	return p
+}
+
+// writeFrame sends one frame.
+func (p *peer) writeFrame(f frame) error {
+	hdr := make([]byte, 4+1+1+8)
+	binary.BigEndian.PutUint32(hdr, uint32(1+1+8+len(f.payload)))
+	hdr[4] = f.kind
+	hdr[5] = uint8(f.op)
+	binary.BigEndian.PutUint64(hdr[6:], f.id)
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if _, err := p.conn.Write(hdr); err != nil {
+		return err
+	}
+	if len(f.payload) > 0 {
+		if _, err := p.conn.Write(f.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func (p *peer) readFrame() (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(p.conn, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 10 || n > maxFrame {
+		return frame{}, fmt.Errorf("%w: frame length %d", ErrProtocol, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(p.conn, body); err != nil {
+		return frame{}, err
+	}
+	return frame{
+		kind:    body[0],
+		op:      Op(body[1]),
+		id:      binary.BigEndian.Uint64(body[2:10]),
+		payload: body[10:],
+	}, nil
+}
+
+func (p *peer) readLoop() {
+	for {
+		f, err := p.readFrame()
+		if err != nil {
+			p.shutdown(err)
+			return
+		}
+		switch f.kind {
+		case kindResponse:
+			p.mu.Lock()
+			ch := p.pending[f.id]
+			delete(p.pending, f.id)
+			p.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		case kindRequest:
+			go p.serve(f)
+		default:
+			p.shutdown(fmt.Errorf("%w: frame kind %d", ErrProtocol, f.kind))
+			return
+		}
+	}
+}
+
+// serve runs the handler for one incoming request and sends the response.
+// Response payload: u8 status (0 ok / 1 error), then body or error string.
+func (p *peer) serve(f frame) {
+	body, err := p.handler(f.op, f.payload)
+	var e encoder
+	if err != nil {
+		e.u8(1)
+		e.str(err.Error())
+	} else {
+		e.u8(0)
+		e.b = append(e.b, body...)
+	}
+	_ = p.writeFrame(frame{kind: kindResponse, op: f.op, id: f.id, payload: e.b})
+}
+
+// call issues a request and waits for the matching response.
+func (p *peer) call(op Op, payload []byte) ([]byte, error) {
+	id := p.nextID.Add(1)
+	ch := make(chan frame, 1)
+	p.mu.Lock()
+	if p.closed {
+		err := p.closeErr
+		p.mu.Unlock()
+		return nil, fmt.Errorf("dfs: connection closed: %w", err)
+	}
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	if err := p.writeFrame(frame{kind: kindRequest, op: op, id: id, payload: payload}); err != nil {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		return nil, err
+	}
+	f, ok := <-ch
+	if !ok {
+		p.mu.Lock()
+		err := p.closeErr
+		p.mu.Unlock()
+		return nil, fmt.Errorf("dfs: connection closed: %w", err)
+	}
+	d := decoder{b: f.payload}
+	if status := d.u8(); status != 0 {
+		msg := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, &ErrRemote{Msg: msg}
+	}
+	return d.b, nil
+}
+
+// shutdown tears the peer down, failing all pending calls.
+func (p *peer) shutdown(err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.closeErr = err
+	pending := p.pending
+	p.pending = make(map[uint64]chan frame)
+	onClose := p.onClose
+	p.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	p.conn.Close()
+	if onClose != nil {
+		onClose(err)
+	}
+}
+
+// Close closes the connection.
+func (p *peer) Close() error {
+	p.shutdown(io.EOF)
+	return nil
+}

@@ -1,0 +1,532 @@
+package dfs
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/stats"
+	"springfs/internal/vm"
+)
+
+// Server is the home-node half of DFS: a stackable layer on SFS that
+// exports the underlying files to remote machines.
+//
+// For each (remote client, file) pair the server binds to the underlying
+// file as a cache manager whose cache object forwards coherency actions
+// over the protocol to that client. The underlying coherency layer then
+// treats every remote client like any other cache manager: when a local
+// client writes, SFS revokes the remote holders through these forwarding
+// objects; when a remote client wants to write, its page-in request enters
+// SFS's single-writer/multiple-readers protocol, which revokes the local
+// caches. This is the P2–C2 composition of Figure 7, generalised to one
+// connection per remote client.
+type Server struct {
+	name   string
+	domain *spring.Domain
+
+	mu        sync.Mutex
+	under     fsys.StackableFS
+	locals    map[any]*dfsFile
+	byID      map[uint64]fsys.File // fileID -> lower file
+	idOf      map[any]uint64
+	nextID    atomic.Uint64
+	listeners []net.Listener
+	clients   map[*srvClient]bool
+	cred      naming.Credentials
+
+	// RemoteOps counts protocol requests served; Callbacks counts
+	// coherency callbacks issued to remote clients.
+	RemoteOps stats.Counter
+	Callbacks stats.Counter
+}
+
+var (
+	_ fsys.StackableFS      = (*Server)(nil)
+	_ naming.ProxyWrappable = (*Server)(nil)
+)
+
+// NewServer creates a DFS server served by domain. Remote operations are
+// performed against the underlying file system with cred.
+func NewServer(domain *spring.Domain, name string, cred naming.Credentials) *Server {
+	return &Server{
+		name:    name,
+		domain:  domain,
+		locals:  make(map[any]*dfsFile),
+		byID:    make(map[uint64]fsys.File),
+		idOf:    make(map[any]uint64),
+		clients: make(map[*srvClient]bool),
+		cred:    cred,
+	}
+}
+
+// NewCreator returns a stackable_fs_creator for DFS servers.
+func NewCreator(domain *spring.Domain, cred naming.Credentials) fsys.Creator {
+	var n atomic.Uint64
+	return fsys.CreatorFunc(func(config map[string]string) (fsys.StackableFS, error) {
+		name := config["name"]
+		if name == "" {
+			name = fmt.Sprintf("dfs%d", n.Add(1))
+		}
+		return NewServer(domain, name, cred), nil
+	})
+}
+
+// FSName implements fsys.FS.
+func (s *Server) FSName() string { return s.name }
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (s *Server) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.WrapStackable(ch, s)
+}
+
+// StackOn implements fsys.StackableFS.
+func (s *Server) StackOn(under fsys.StackableFS) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.under != nil {
+		return fsys.ErrAlreadyStacked
+	}
+	s.under = under
+	return nil
+}
+
+func (s *Server) underlying() (fsys.StackableFS, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.under == nil {
+		return nil, fsys.ErrNotStacked
+	}
+	return s.under, nil
+}
+
+// Serve accepts protocol connections on l until it is closed.
+func (s *Server) Serve(l net.Listener) {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.addClient(conn)
+	}
+}
+
+// addClient starts serving one protocol connection (exported for tests
+// that build connections directly).
+func (s *Server) addClient(conn net.Conn) *srvClient {
+	c := &srvClient{srv: s, sessions: make(map[uint64]*session)}
+	c.peer = newPeer(conn, c.handle, func(error) { c.teardown() })
+	s.mu.Lock()
+	s.clients[c] = true
+	s.mu.Unlock()
+	return c
+}
+
+// Close shuts down listeners and client connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	ls := s.listeners
+	s.listeners = nil
+	clients := make([]*srvClient, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range clients {
+		c.peer.Close()
+	}
+}
+
+// fileID returns (assigning if needed) the protocol id of a lower file.
+func (s *Server) fileID(lower fsys.File) uint64 {
+	key := fsys.CanonicalKey(lower)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.idOf[key]; ok {
+		return id
+	}
+	id := s.nextID.Add(1)
+	s.idOf[key] = id
+	s.byID[id] = lower
+	return id
+}
+
+// lowerByID resolves a protocol file id.
+func (s *Server) lowerByID(id uint64) (fsys.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("dfs: unknown file id %d", id)
+	}
+	return f, nil
+}
+
+// ---- local (same-machine) path: Figure 7's bind forwarding ----
+
+// localFor returns the canonical local wrapper for a lower file.
+func (s *Server) localFor(lower fsys.File) *dfsFile {
+	key := fsys.CanonicalKey(lower)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.locals[key]; ok {
+		return f
+	}
+	f := &dfsFile{srv: s, lower: lower}
+	s.locals[key] = f
+	return f
+}
+
+// Create implements fsys.FS.
+func (s *Server) Create(name string, cred naming.Credentials) (fsys.File, error) {
+	under, err := s.underlying()
+	if err != nil {
+		return nil, err
+	}
+	lower, err := under.Create(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return s.localFor(lower), nil
+}
+
+// Open implements fsys.FS.
+func (s *Server) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	obj, err := s.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.AsFile(obj)
+}
+
+// Remove implements fsys.FS.
+func (s *Server) Remove(name string, cred naming.Credentials) error {
+	under, err := s.underlying()
+	if err != nil {
+		return err
+	}
+	return under.Remove(name, cred)
+}
+
+// SyncFS implements fsys.FS.
+func (s *Server) SyncFS() error {
+	under, err := s.underlying()
+	if err != nil {
+		return err
+	}
+	return under.SyncFS()
+}
+
+// Resolve implements naming.Context, wrapping files in local DFS wrappers.
+func (s *Server) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	under, err := s.underlying()
+	if err != nil {
+		return nil, err
+	}
+	obj, err := under.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	if lf, ok := obj.(fsys.File); ok {
+		return s.localFor(lf), nil
+	}
+	return obj, nil
+}
+
+// Bind implements naming.Context.
+func (s *Server) Bind(name string, obj naming.Object, cred naming.Credentials) error {
+	under, err := s.underlying()
+	if err != nil {
+		return err
+	}
+	if f, ok := obj.(*dfsFile); ok && f.srv == s {
+		obj = f.lower
+	}
+	return under.Bind(name, obj, cred)
+}
+
+// Unbind implements naming.Context.
+func (s *Server) Unbind(name string, cred naming.Credentials) error {
+	under, err := s.underlying()
+	if err != nil {
+		return err
+	}
+	return under.Unbind(name, cred)
+}
+
+// List implements naming.Context.
+func (s *Server) List(cred naming.Credentials) ([]naming.Binding, error) {
+	under, err := s.underlying()
+	if err != nil {
+		return nil, err
+	}
+	out, err := under.List(cred)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if lf, ok := out[i].Object.(fsys.File); ok {
+			out[i].Object = s.localFor(lf)
+		}
+	}
+	return out, nil
+}
+
+// CreateContext implements naming.Context.
+func (s *Server) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
+	under, err := s.underlying()
+	if err != nil {
+		return nil, err
+	}
+	return under.CreateContext(name, cred)
+}
+
+// dfsFile is the local view of an exported file. Local binds are forwarded
+// to the underlying file, so local clients share the very same cached
+// pages as direct clients of file_SFS, and DFS is not involved in local
+// page-in/page-out requests (Figure 7).
+type dfsFile struct {
+	srv   *Server
+	lower fsys.File
+}
+
+var (
+	_ fsys.File             = (*dfsFile)(nil)
+	_ naming.ProxyWrappable = (*dfsFile)(nil)
+)
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (f *dfsFile) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.NewFileProxy(ch, f)
+}
+
+// Lower returns the underlying file (tests).
+func (f *dfsFile) Lower() fsys.File { return f.lower }
+
+// Bind implements vm.MemoryObject by forwarding to the underlying file:
+// when the VMM binds to a locally managed DFS file, DFS reroutes the VMM
+// to SFS, so the VMM ends up dealing with SFS directly.
+func (f *dfsFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
+	return f.lower.Bind(caller, access, offset, length)
+}
+
+// GetLength implements vm.MemoryObject.
+func (f *dfsFile) GetLength() (vm.Offset, error) { return f.lower.GetLength() }
+
+// SetLength implements vm.MemoryObject.
+func (f *dfsFile) SetLength(l vm.Offset) error { return f.lower.SetLength(l) }
+
+// ReadAt implements fsys.File.
+func (f *dfsFile) ReadAt(p []byte, off int64) (int, error) { return f.lower.ReadAt(p, off) }
+
+// WriteAt implements fsys.File.
+func (f *dfsFile) WriteAt(p []byte, off int64) (int, error) { return f.lower.WriteAt(p, off) }
+
+// Stat implements fsys.File.
+func (f *dfsFile) Stat() (fsys.Attributes, error) { return f.lower.Stat() }
+
+// Sync implements fsys.File.
+func (f *dfsFile) Sync() error { return f.lower.Sync() }
+
+// ---- remote path ----
+
+// session is the server-side state for one (client, file): the cache
+// manager identity under which the server bound to the lower file on the
+// client's behalf, plus the pager object the bind produced.
+type session struct {
+	client *srvClient
+	fileID uint64
+	lower  fsys.File
+
+	mu      sync.Mutex
+	pager   vm.PagerObject
+	fsPager fsys.FsPagerObject
+}
+
+var _ vm.CacheManager = (*session)(nil)
+
+// ManagerName implements vm.CacheManager.
+func (se *session) ManagerName() string {
+	return fmt.Sprintf("%s/remote/%d", se.client.srv.name, se.fileID)
+}
+
+// ManagerDomain implements vm.CacheManager.
+func (se *session) ManagerDomain() *spring.Domain { return se.client.srv.domain }
+
+// NewConnection implements vm.CacheManager: the cache object handed to the
+// lower layer forwards coherency actions over the wire to the remote
+// client.
+func (se *session) NewConnection(pager vm.PagerObject) (vm.CacheObject, vm.CacheRights) {
+	se.mu.Lock()
+	se.pager = pager
+	if fp, ok := spring.Narrow[fsys.FsPagerObject](pager); ok {
+		se.fsPager = fp
+	}
+	se.mu.Unlock()
+	return &forwardingCache{se: se}, sessionRights{id: se.fileID, name: se.ManagerName()}
+}
+
+type sessionRights struct {
+	id   uint64
+	name string
+}
+
+func (r sessionRights) RightsID() uint64    { return r.id }
+func (r sessionRights) ManagerName() string { return r.name }
+
+// ensurePager binds to the lower file once.
+func (se *session) ensurePager() (vm.PagerObject, error) {
+	se.mu.Lock()
+	p := se.pager
+	se.mu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	if _, err := se.lower.Bind(se, vm.RightsWrite, 0, 0); err != nil {
+		return nil, err
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.pager == nil {
+		return nil, fmt.Errorf("dfs: lower bind produced no pager")
+	}
+	return se.pager, nil
+}
+
+// release drops the session's holdings at the lower layer.
+func (se *session) release() {
+	se.mu.Lock()
+	p := se.pager
+	se.pager = nil
+	se.fsPager = nil
+	se.mu.Unlock()
+	if p != nil {
+		p.DoneWithPagerObject()
+	}
+}
+
+// forwardingCache is the fs_cache object the lower layer invokes to
+// perform coherency actions against data cached at the remote client. Each
+// operation becomes a protocol callback.
+type forwardingCache struct {
+	se *session
+}
+
+var _ fsys.FsCacheObject = (*forwardingCache)(nil)
+
+// rangeCallback issues a callback carrying (fileID, offset, size) and
+// decodes returned dirty extents.
+func (c *forwardingCache) rangeCallback(op Op, offset, size vm.Offset) []vm.Data {
+	c.se.client.srv.Callbacks.Inc()
+	var e encoder
+	e.u64(c.se.fileID)
+	e.i64(offset)
+	e.i64(size)
+	body, err := c.se.client.peer.call(op, e.b)
+	if err != nil {
+		return nil // client gone: nothing to reclaim
+	}
+	d := decoder{b: body}
+	n := d.u32()
+	out := make([]vm.Data, 0, n)
+	for i := uint32(0); i < n; i++ {
+		off := d.i64()
+		data := d.bytes()
+		if d.err != nil {
+			return nil
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		out = append(out, vm.Data{Offset: off, Bytes: cp})
+	}
+	return out
+}
+
+// FlushBack implements vm.CacheObject.
+func (c *forwardingCache) FlushBack(offset, size vm.Offset) []vm.Data {
+	return c.rangeCallback(OpCbFlushBack, offset, size)
+}
+
+// DenyWrites implements vm.CacheObject.
+func (c *forwardingCache) DenyWrites(offset, size vm.Offset) []vm.Data {
+	return c.rangeCallback(OpCbDenyWrites, offset, size)
+}
+
+// WriteBack implements vm.CacheObject.
+func (c *forwardingCache) WriteBack(offset, size vm.Offset) []vm.Data {
+	return c.rangeCallback(OpCbDenyWrites, offset, size)
+}
+
+// DeleteRange implements vm.CacheObject.
+func (c *forwardingCache) DeleteRange(offset, size vm.Offset) {
+	c.rangeCallback(OpCbDeleteRange, offset, size)
+}
+
+// ZeroFill implements vm.CacheObject; remote caches simply drop the range
+// and refetch.
+func (c *forwardingCache) ZeroFill(offset, size vm.Offset) {
+	c.rangeCallback(OpCbDeleteRange, offset, size)
+}
+
+// Populate implements vm.CacheObject; remote caches drop and refetch.
+func (c *forwardingCache) Populate(offset, size vm.Offset, access vm.Rights, data []byte) {
+	c.rangeCallback(OpCbDeleteRange, offset, size)
+}
+
+// DestroyCache implements vm.CacheObject.
+func (c *forwardingCache) DestroyCache() {
+	c.rangeCallback(OpCbDeleteRange, 0, 1<<62)
+}
+
+// FlushAttributes implements fsys.FsCacheObject.
+func (c *forwardingCache) FlushAttributes() (fsys.Attributes, bool) {
+	c.se.client.srv.Callbacks.Inc()
+	var e encoder
+	e.u64(c.se.fileID)
+	e.u8(1) // flush
+	body, err := c.se.client.peer.call(OpCbInvalAttrs, e.b)
+	if err != nil {
+		return fsys.Attributes{}, false
+	}
+	d := decoder{b: body}
+	dirty := d.u8() == 1
+	attrs := decodeAttrs(&d)
+	if d.err != nil {
+		return fsys.Attributes{}, false
+	}
+	return attrs, dirty
+}
+
+// PopulateAttributes implements fsys.FsCacheObject.
+func (c *forwardingCache) PopulateAttributes(attrs fsys.Attributes) {
+	c.invalAttrs()
+}
+
+// InvalidateAttributes implements fsys.FsCacheObject.
+func (c *forwardingCache) InvalidateAttributes() { c.invalAttrs() }
+
+func (c *forwardingCache) invalAttrs() {
+	c.se.client.srv.Callbacks.Inc()
+	var e encoder
+	e.u64(c.se.fileID)
+	e.u8(0) // invalidate
+	_, _ = c.se.client.peer.call(OpCbInvalAttrs, e.b)
+}
+
+// encodeAttrs/decodeAttrs carry attributes on the wire as (length, atime,
+// mtime) in unix nanoseconds.
+func encodeAttrs(e *encoder, a fsys.Attributes) {
+	e.i64(a.Length)
+	e.i64(a.AccessTime.UnixNano())
+	e.i64(a.ModifyTime.UnixNano())
+}

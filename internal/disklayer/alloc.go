@@ -1,0 +1,110 @@
+package disklayer
+
+import (
+	"fmt"
+
+	"springfs/internal/blockdev"
+)
+
+// allocator manages the block allocation bitmap. The bitmap is kept in
+// memory and written through to the device on every change (the disk layer
+// favours simplicity over journaling; crash consistency is out of scope
+// for the paper and for this reproduction).
+//
+// The allocator is not internally locked; DiskFS serialises metadata
+// mutations under its own mutex.
+type allocator struct {
+	dev    blockdev.Device
+	sb     *superblock
+	bitmap []byte // sb.bitmapBlocks * BlockSize bytes
+	// hint is the next block to consider, making allocation roughly
+	// sequential, which matters under the device's seek model.
+	hint int64
+}
+
+func loadAllocator(dev blockdev.Device, sb *superblock) (*allocator, error) {
+	a := &allocator{
+		dev:    dev,
+		sb:     sb,
+		bitmap: make([]byte, sb.bitmapBlocks*BlockSize),
+		hint:   sb.dataStart,
+	}
+	for b := int64(0); b < sb.bitmapBlocks; b++ {
+		if err := dev.ReadBlock(sb.bitmapStart+b, a.bitmap[b*BlockSize:(b+1)*BlockSize]); err != nil {
+			return nil, fmt.Errorf("disklayer: reading bitmap: %w", err)
+		}
+	}
+	return a, nil
+}
+
+func (a *allocator) isSet(bn int64) bool {
+	return a.bitmap[bn/8]&(1<<(bn%8)) != 0
+}
+
+func (a *allocator) set(bn int64)   { a.bitmap[bn/8] |= 1 << (bn % 8) }
+func (a *allocator) clear(bn int64) { a.bitmap[bn/8] &^= 1 << (bn % 8) }
+
+// writeBitmapBlock flushes the bitmap block containing bit bn.
+func (a *allocator) writeBitmapBlock(bn int64) error {
+	blk := bn / (BlockSize * 8)
+	return a.dev.WriteBlock(a.sb.bitmapStart+blk, a.bitmap[blk*BlockSize:(blk+1)*BlockSize])
+}
+
+// alloc returns a free data block, zeroed on disk by convention (callers
+// overwrite it entirely or rely on free blocks having been zeroed when
+// freed).
+func (a *allocator) alloc() (int64, error) {
+	if a.sb.freeBlocks == 0 {
+		return 0, ErrNoSpace
+	}
+	n := a.sb.nblocks
+	for i := int64(0); i < n; i++ {
+		bn := a.hint + i
+		if bn >= n {
+			bn = a.sb.dataStart + (bn - n)
+		}
+		if bn < a.sb.dataStart {
+			continue
+		}
+		if !a.isSet(bn) {
+			a.set(bn)
+			a.sb.freeBlocks--
+			a.hint = bn + 1
+			if a.hint >= n {
+				a.hint = a.sb.dataStart
+			}
+			if err := a.writeBitmapBlock(bn); err != nil {
+				a.clear(bn)
+				a.sb.freeBlocks++
+				return 0, err
+			}
+			return bn, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// free releases block bn.
+func (a *allocator) free(bn int64) error {
+	if bn < a.sb.dataStart || bn >= a.sb.nblocks {
+		return fmt.Errorf("disklayer: freeing out-of-range block %d", bn)
+	}
+	if !a.isSet(bn) {
+		return fmt.Errorf("disklayer: double free of block %d", bn)
+	}
+	a.clear(bn)
+	a.sb.freeBlocks++
+	return a.writeBitmapBlock(bn)
+}
+
+// countFree recounts free blocks from the bitmap (fsck-style consistency
+// check used by tests).
+func (a *allocator) countFree() int64 {
+	var free int64
+	for bn := a.sb.dataStart; bn < a.sb.nblocks; bn++ {
+		if !a.isSet(bn) {
+			free++
+		}
+	}
+	return free
+}

@@ -1,0 +1,310 @@
+package disklayer
+
+import (
+	"fmt"
+	"time"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// diskFile is a regular file served by the disk layer. It implements the
+// Spring file interface: a memory object (bindable, mappable) plus
+// read/write operations implemented by mapping the file through the local
+// VMM (fsys.MappedIO).
+type diskFile struct {
+	fs  *DiskFS
+	ino uint64
+	io  *fsys.MappedIO
+}
+
+var (
+	_ fsys.File             = (*diskFile)(nil)
+	_ naming.ProxyWrappable = (*diskFile)(nil)
+)
+
+// Ino returns the file's inode number (tests and diagnostics).
+func (f *diskFile) Ino() uint64 { return f.ino }
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (f *diskFile) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.NewFileProxy(ch, f)
+}
+
+// Bind implements vm.MemoryObject: establish or reuse the pager-cache
+// connection between this file's pager and the calling cache manager.
+func (f *diskFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
+	rights, _, _ := f.fs.table.Bind(caller, f.ino, func() vm.PagerObject {
+		return &diskPager{file: f}
+	})
+	return rights, nil
+}
+
+// GetLength implements vm.MemoryObject.
+func (f *diskFile) GetLength() (vm.Offset, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return 0, err
+	}
+	return ci.in.length, nil
+}
+
+// SetLength implements vm.MemoryObject.
+func (f *diskFile) SetLength(length vm.Offset) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return err
+	}
+	if length < ci.in.length {
+		return f.fs.truncateLocked(ci, length)
+	}
+	ci.in.length = length
+	ci.in.mtime = f.fs.now()
+	ci.dirty = true
+	return nil
+}
+
+// ReadAt implements fsys.File.
+func (f *diskFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.io.ReadAt(p, off)
+	if n > 0 {
+		f.touch(false)
+	}
+	return n, err
+}
+
+// WriteAt implements fsys.File.
+func (f *diskFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.io.WriteAt(p, off)
+	if n > 0 {
+		f.touch(true)
+	}
+	return n, err
+}
+
+// touch updates the access (and optionally modify) time in the i-node
+// cache; the update reaches disk on the next inode write-back.
+func (f *diskFile) touch(modified bool) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return
+	}
+	now := f.fs.now()
+	ci.in.atime = now
+	if modified {
+		ci.in.mtime = now
+	}
+	ci.dirty = true
+}
+
+// Stat implements fsys.File. It is served from the i-node cache without
+// disk I/O.
+func (f *diskFile) Stat() (fsys.Attributes, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return fsys.Attributes{}, err
+	}
+	if ci.in.mode != ModeFile {
+		return fsys.Attributes{}, ErrBadInode
+	}
+	return fsys.Attributes{
+		Length:     ci.in.length,
+		AccessTime: time.Unix(0, ci.in.atime),
+		ModifyTime: time.Unix(0, ci.in.mtime),
+	}, nil
+}
+
+// Sync implements fsys.File: push cached modified pages to the pager (the
+// disk) and write the inode back.
+func (f *diskFile) Sync() error {
+	if err := f.io.Sync(); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return err
+	}
+	return f.fs.writeInode(ci)
+}
+
+// diskPager is the per-file fs_pager of the disk layer. Page-ins and
+// page-outs perform real disk I/O; attributes come from the i-node cache.
+// The disk layer is non-coherent: the pager does not reconcile multiple
+// cache managers (stack the coherency layer for that). It supports the
+// page-in hint extension so read-ahead pulls sequential blocks cheaply.
+type diskPager struct {
+	file *diskFile
+}
+
+var (
+	_ fsys.FsPagerObject = (*diskPager)(nil)
+	_ vm.HintedPager     = (*diskPager)(nil)
+)
+
+// PageIn implements vm.PagerObject.
+func (p *diskPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, error) {
+	if !vm.PageAligned(offset, size) {
+		return nil, vm.ErrUnaligned
+	}
+	fs := p.file.fs
+	out := make([]byte, size)
+	fs.mu.Lock()
+	ci, err := fs.readInode(p.file.ino)
+	if err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
+	type ioReq struct {
+		bn  int64 // device block
+		fbn int64 // file block
+	}
+	var reqs []ioReq
+	for fbn := offset / BlockSize; fbn*BlockSize < offset+size; fbn++ {
+		bn, err := fs.bmap(ci, fbn, false)
+		if err != nil {
+			fs.mu.Unlock()
+			return nil, err
+		}
+		if bn != 0 {
+			reqs = append(reqs, ioReq{bn: bn, fbn: fbn})
+		}
+	}
+	fs.mu.Unlock()
+	// Perform the disk I/O outside the metadata lock, coalescing runs
+	// that are consecutive both in the file and on the device into single
+	// transfers (one positioning delay per run) when the device supports
+	// it. This is what makes clustered page-ins (Section 8 read-ahead)
+	// cheap.
+	rr, canRun := fs.dev.(blockdev.RunReader)
+	dstFor := func(fbn int64) []byte {
+		return out[fbn*BlockSize-offset : (fbn+1)*BlockSize-offset]
+	}
+	for i := 0; i < len(reqs); {
+		j := i + 1
+		for canRun && j < len(reqs) &&
+			reqs[j].bn == reqs[j-1].bn+1 && reqs[j].fbn == reqs[j-1].fbn+1 {
+			j++
+		}
+		if j-i > 1 {
+			full := out[reqs[i].fbn*BlockSize-offset : reqs[j-1].fbn*BlockSize-offset+BlockSize]
+			if err := rr.ReadRun(reqs[i].bn, full); err != nil {
+				return nil, err
+			}
+		} else if err := fs.dev.ReadBlock(reqs[i].bn, dstFor(reqs[i].fbn)); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// PageInHint implements vm.HintedPager: return up to maxSize of sequential
+// data (bounded by the end of file rounded up) in one call.
+func (p *diskPager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rights) ([]byte, error) {
+	length, err := p.file.GetLength()
+	if err != nil {
+		return nil, err
+	}
+	end := vm.RoundUp(length)
+	size := maxSize
+	if offset+size > end {
+		size = end - offset
+	}
+	if size < minSize {
+		size = minSize
+	}
+	return p.PageIn(offset, size, access)
+}
+
+// PageOut implements vm.PagerObject.
+func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
+	if !vm.PageAligned(offset, size) {
+		return vm.ErrUnaligned
+	}
+	if int64(len(data)) < size {
+		return fmt.Errorf("disklayer: short page-out data: %d < %d", len(data), size)
+	}
+	fs := p.file.fs
+	fs.mu.Lock()
+	ci, err := fs.readInode(p.file.ino)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	type ioReq struct {
+		bn  int64
+		src []byte
+	}
+	var reqs []ioReq
+	for fbn := offset / BlockSize; fbn*BlockSize < offset+size; fbn++ {
+		bn, err := fs.bmap(ci, fbn, true)
+		if err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+		reqs = append(reqs, ioReq{bn: bn, src: data[fbn*BlockSize-offset : (fbn+1)*BlockSize-offset]})
+	}
+	ci.in.mtime = fs.now()
+	ci.dirty = true
+	fs.mu.Unlock()
+	for _, r := range reqs {
+		if err := fs.dev.WriteBlock(r.bn, r.src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteOut implements vm.PagerObject.
+func (p *diskPager) WriteOut(offset, size vm.Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// Sync implements vm.PagerObject.
+func (p *diskPager) Sync(offset, size vm.Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// DoneWithPagerObject implements vm.PagerObject.
+func (p *diskPager) DoneWithPagerObject() {}
+
+// GetAttributes implements fsys.FsPagerObject; served from the i-node
+// cache.
+func (p *diskPager) GetAttributes() (fsys.Attributes, error) {
+	return p.file.Stat()
+}
+
+// SetAttributes implements fsys.FsPagerObject.
+func (p *diskPager) SetAttributes(attrs fsys.Attributes) error {
+	fs := p.file.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ci, err := fs.readInode(p.file.ino)
+	if err != nil {
+		return err
+	}
+	if attrs.Length < ci.in.length {
+		if err := fs.truncateLocked(ci, attrs.Length); err != nil {
+			return err
+		}
+	} else {
+		ci.in.length = attrs.Length
+	}
+	ci.in.atime = attrs.AccessTime.UnixNano()
+	ci.in.mtime = attrs.ModifyTime.UnixNano()
+	ci.dirty = true
+	return nil
+}

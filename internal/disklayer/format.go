@@ -1,0 +1,272 @@
+// Package disklayer implements the base disk layer of the Spring storage
+// file system (Figure 10 of the paper): an on-disk UFS-compatible file
+// system built directly on a storage device.
+//
+// The disk layer deliberately implements *no coherency algorithm*. It
+// services page-in/page-out requests against the disk and maintains a small
+// amount of locked-down state — basically an i-node cache, which lets open
+// and stat operations complete without disk I/O while reads and writes go
+// to the device (this is the behaviour the Table 2 caption describes). An
+// instance of the generic coherency layer is stacked on top of the disk
+// layer to form SFS, and all files are exported via the coherency layer.
+//
+// On-disk layout (block size 4096, matching the VM page size):
+//
+//	block 0:              superblock
+//	blocks 1..b:          block allocation bitmap
+//	blocks b+1..i:        inode table (32 inodes per block)
+//	blocks i+1..N:        data blocks
+//
+// Inodes hold 10 direct block pointers, one single-indirect and one
+// double-indirect pointer (512 pointers per indirect block), giving a
+// maximum file size of (10 + 512 + 512*512)*4 KiB ≈ 1 GiB.
+package disklayer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"springfs/internal/blockdev"
+)
+
+// BlockSize is the file system block size; it equals the device block size
+// and the VM page size.
+const BlockSize = blockdev.BlockSize
+
+// Magic identifies a disklayer superblock.
+const Magic = 0x5350524e_47465331 // "SPRNGFS1"
+
+// Version is the on-disk format version.
+const Version = 1
+
+// Layout constants.
+const (
+	// NumDirect is the number of direct block pointers per inode.
+	NumDirect = 10
+	// PtrsPerBlock is the number of block pointers in an indirect block.
+	PtrsPerBlock = BlockSize / 8
+	// InodeSize is the on-disk inode size in bytes.
+	InodeSize = 128
+	// InodesPerBlock is the number of inodes per table block.
+	InodesPerBlock = BlockSize / InodeSize
+	// RootIno is the inode number of the root directory.
+	RootIno = 1
+	// MaxFileBlocks is the maximum number of data blocks per file.
+	MaxFileBlocks = NumDirect + PtrsPerBlock + PtrsPerBlock*PtrsPerBlock
+)
+
+// Inode modes.
+const (
+	// ModeFree marks an unallocated inode.
+	ModeFree uint32 = iota
+	// ModeFile marks a regular file.
+	ModeFile
+	// ModeDir marks a directory.
+	ModeDir
+)
+
+// Errors returned by the disk layer.
+var (
+	// ErrBadMagic means the device does not hold a disklayer file system.
+	ErrBadMagic = errors.New("disklayer: bad superblock magic")
+	// ErrNoSpace means the device is out of data blocks.
+	ErrNoSpace = errors.New("disklayer: no space left on device")
+	// ErrNoInodes means the inode table is full.
+	ErrNoInodes = errors.New("disklayer: out of inodes")
+	// ErrBadInode means an inode number is out of range or free.
+	ErrBadInode = errors.New("disklayer: bad inode")
+	// ErrFileTooBig means a write would exceed MaxFileBlocks.
+	ErrFileTooBig = errors.New("disklayer: file too large")
+	// ErrNotDir means a directory operation hit a non-directory inode.
+	ErrNotDir = errors.New("disklayer: not a directory")
+	// ErrIsDir means a file operation hit a directory inode.
+	ErrIsDir = errors.New("disklayer: is a directory")
+	// ErrDirNotEmpty means removing a directory that still has entries.
+	ErrDirNotEmpty = errors.New("disklayer: directory not empty")
+	// ErrNameTooLong means a directory entry name exceeds the format
+	// limit.
+	ErrNameTooLong = errors.New("disklayer: name too long")
+)
+
+// MaxNameLen bounds directory entry names.
+const MaxNameLen = 255
+
+// superblock is the on-disk file system descriptor.
+type superblock struct {
+	magic        uint64
+	version      uint32
+	nblocks      int64 // total device blocks
+	ninodes      int64
+	bitmapStart  int64
+	bitmapBlocks int64
+	itableStart  int64
+	itableBlocks int64
+	dataStart    int64
+	rootIno      uint64
+	freeBlocks   int64
+	freeInodes   int64
+}
+
+func (sb *superblock) encode(buf []byte) {
+	be := binary.BigEndian
+	be.PutUint64(buf[0:], sb.magic)
+	be.PutUint32(buf[8:], sb.version)
+	be.PutUint64(buf[12:], uint64(sb.nblocks))
+	be.PutUint64(buf[20:], uint64(sb.ninodes))
+	be.PutUint64(buf[28:], uint64(sb.bitmapStart))
+	be.PutUint64(buf[36:], uint64(sb.bitmapBlocks))
+	be.PutUint64(buf[44:], uint64(sb.itableStart))
+	be.PutUint64(buf[52:], uint64(sb.itableBlocks))
+	be.PutUint64(buf[60:], uint64(sb.dataStart))
+	be.PutUint64(buf[68:], sb.rootIno)
+	be.PutUint64(buf[76:], uint64(sb.freeBlocks))
+	be.PutUint64(buf[84:], uint64(sb.freeInodes))
+}
+
+func (sb *superblock) decode(buf []byte) error {
+	be := binary.BigEndian
+	sb.magic = be.Uint64(buf[0:])
+	if sb.magic != Magic {
+		return ErrBadMagic
+	}
+	sb.version = be.Uint32(buf[8:])
+	if sb.version != Version {
+		return fmt.Errorf("disklayer: unsupported version %d", sb.version)
+	}
+	sb.nblocks = int64(be.Uint64(buf[12:]))
+	sb.ninodes = int64(be.Uint64(buf[20:]))
+	sb.bitmapStart = int64(be.Uint64(buf[28:]))
+	sb.bitmapBlocks = int64(be.Uint64(buf[36:]))
+	sb.itableStart = int64(be.Uint64(buf[44:]))
+	sb.itableBlocks = int64(be.Uint64(buf[52:]))
+	sb.dataStart = int64(be.Uint64(buf[60:]))
+	sb.rootIno = be.Uint64(buf[68:])
+	sb.freeBlocks = int64(be.Uint64(buf[76:]))
+	sb.freeInodes = int64(be.Uint64(buf[84:]))
+	return nil
+}
+
+// inode is the in-memory form of an on-disk inode.
+type inode struct {
+	mode      uint32
+	nlink     uint32
+	length    int64
+	atime     int64 // unix nanoseconds
+	mtime     int64
+	direct    [NumDirect]int64
+	indirect  int64
+	dindirect int64
+}
+
+func (in *inode) encode(buf []byte) {
+	be := binary.BigEndian
+	be.PutUint32(buf[0:], in.mode)
+	be.PutUint32(buf[4:], in.nlink)
+	be.PutUint64(buf[8:], uint64(in.length))
+	be.PutUint64(buf[16:], uint64(in.atime))
+	be.PutUint64(buf[24:], uint64(in.mtime))
+	for i := 0; i < NumDirect; i++ {
+		be.PutUint64(buf[32+8*i:], uint64(in.direct[i]))
+	}
+	be.PutUint64(buf[32+8*NumDirect:], uint64(in.indirect))
+	be.PutUint64(buf[40+8*NumDirect:], uint64(in.dindirect))
+}
+
+func (in *inode) decode(buf []byte) {
+	be := binary.BigEndian
+	in.mode = be.Uint32(buf[0:])
+	in.nlink = be.Uint32(buf[4:])
+	in.length = int64(be.Uint64(buf[8:]))
+	in.atime = int64(be.Uint64(buf[16:]))
+	in.mtime = int64(be.Uint64(buf[24:]))
+	for i := 0; i < NumDirect; i++ {
+		in.direct[i] = int64(be.Uint64(buf[32+8*i:]))
+	}
+	in.indirect = int64(be.Uint64(buf[32+8*NumDirect:]))
+	in.dindirect = int64(be.Uint64(buf[40+8*NumDirect:]))
+}
+
+// MkfsOptions configure file system creation.
+type MkfsOptions struct {
+	// NumInodes sets the inode table size; 0 derives it from the device
+	// size (one inode per 8 data blocks, minimum 64).
+	NumInodes int64
+}
+
+// Mkfs formats dev with an empty file system containing only the root
+// directory.
+func Mkfs(dev blockdev.Device, opts MkfsOptions) error {
+	nblocks := dev.NumBlocks()
+	if nblocks < 8 {
+		return fmt.Errorf("disklayer: device too small (%d blocks)", nblocks)
+	}
+	ninodes := opts.NumInodes
+	if ninodes <= 0 {
+		ninodes = nblocks / 8
+		if ninodes < 64 {
+			ninodes = 64
+		}
+	}
+	// Inode numbers start at 1; inode 0 is reserved as "null".
+	itableBlocks := (ninodes + InodesPerBlock) / InodesPerBlock
+	bitmapBlocks := (nblocks + BlockSize*8 - 1) / (BlockSize * 8)
+	sb := superblock{
+		magic:        Magic,
+		version:      Version,
+		nblocks:      nblocks,
+		ninodes:      ninodes,
+		bitmapStart:  1,
+		bitmapBlocks: bitmapBlocks,
+		itableStart:  1 + bitmapBlocks,
+		itableBlocks: itableBlocks,
+		dataStart:    1 + bitmapBlocks + itableBlocks,
+		rootIno:      RootIno,
+	}
+	if sb.dataStart >= nblocks {
+		return fmt.Errorf("disklayer: device too small for metadata (%d blocks)", nblocks)
+	}
+	sb.freeBlocks = nblocks - sb.dataStart
+	sb.freeInodes = ninodes - 1 // root is allocated
+
+	// Zero the bitmap and mark metadata blocks used.
+	buf := make([]byte, BlockSize)
+	for b := int64(0); b < bitmapBlocks; b++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for bit := int64(0); bit < BlockSize*8; bit++ {
+			bn := b*BlockSize*8 + bit
+			if bn < sb.dataStart && bn < nblocks {
+				buf[bit/8] |= 1 << (bit % 8)
+			}
+		}
+		if err := dev.WriteBlock(sb.bitmapStart+b, buf); err != nil {
+			return err
+		}
+	}
+	// Zero the inode table and write the root directory inode.
+	now := time.Now().UnixNano()
+	for b := int64(0); b < itableBlocks; b++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		if b == RootIno/InodesPerBlock {
+			root := inode{mode: ModeDir, nlink: 1, atime: now, mtime: now}
+			root.encode(buf[(RootIno%InodesPerBlock)*InodeSize:])
+		}
+		if err := dev.WriteBlock(sb.itableStart+b, buf); err != nil {
+			return err
+		}
+	}
+	// Write the superblock last so a crash mid-mkfs leaves no valid fs.
+	for i := range buf {
+		buf[i] = 0
+	}
+	sb.encode(buf)
+	if err := dev.WriteBlock(0, buf); err != nil {
+		return err
+	}
+	return dev.Flush()
+}

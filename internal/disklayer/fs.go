@@ -1,0 +1,471 @@
+package disklayer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// DiskFS is the disk layer: a stackable file system built directly on a
+// block device. It is a base layer — StackOn always fails — and it is
+// non-coherent: its pagers serve data without tracking or reconciling
+// multiple cache managers. Stack the generic coherency layer on top to get
+// SFS (Figure 10).
+type DiskFS struct {
+	name   string
+	dev    blockdev.Device
+	domain *spring.Domain
+	vmm    *vm.VMM
+	table  *fsys.ConnectionTable
+	clock  func() time.Time
+
+	mu     sync.Mutex
+	sb     superblock
+	alloc  *allocator
+	icache map[uint64]*cachedInode
+	dcache map[uint64][]dirEntry
+	mcache map[int64][]int64 // indirect (pointer) blocks
+	files  map[uint64]*diskFile
+	dirs   map[uint64]*diskDir
+	zero   []byte
+	closed bool
+}
+
+var (
+	_ fsys.StackableFS      = (*DiskFS)(nil)
+	_ naming.ProxyWrappable = (*DiskFS)(nil)
+)
+
+// Mount opens a formatted device. The disk layer's objects are served from
+// domain; vmm is the node's VMM, used to implement read/write operations
+// through mappings.
+func Mount(dev blockdev.Device, domain *spring.Domain, vmm *vm.VMM, name string) (*DiskFS, error) {
+	buf := make([]byte, BlockSize)
+	if err := dev.ReadBlock(0, buf); err != nil {
+		return nil, err
+	}
+	fs := &DiskFS{
+		name:   name,
+		dev:    dev,
+		domain: domain,
+		vmm:    vmm,
+		table:  fsys.NewConnectionTable(domain),
+		clock:  time.Now,
+		icache: make(map[uint64]*cachedInode),
+		dcache: make(map[uint64][]dirEntry),
+		mcache: make(map[int64][]int64),
+		files:  make(map[uint64]*diskFile),
+		dirs:   make(map[uint64]*diskDir),
+		zero:   make([]byte, BlockSize),
+	}
+	if err := fs.sb.decode(buf); err != nil {
+		return nil, err
+	}
+	alloc, err := loadAllocator(dev, &fs.sb)
+	if err != nil {
+		return nil, err
+	}
+	fs.alloc = alloc
+	return fs, nil
+}
+
+// now returns the current time in unix nanoseconds for inode stamps.
+func (fs *DiskFS) now() int64 { return fs.clock().UnixNano() }
+
+// SetClock overrides the time source (tests).
+func (fs *DiskFS) SetClock(clock func() time.Time) { fs.clock = clock }
+
+// Domain returns the serving domain.
+func (fs *DiskFS) Domain() *spring.Domain { return fs.domain }
+
+// Device returns the underlying block device.
+func (fs *DiskFS) Device() blockdev.Device { return fs.dev }
+
+// FreeBlocks returns the free data block count.
+func (fs *DiskFS) FreeBlocks() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.sb.freeBlocks
+}
+
+// CheckConsistency recounts the allocation bitmap against the superblock
+// (fsck-style; used by tests).
+func (fs *DiskFS) CheckConsistency() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if got := fs.alloc.countFree(); got != fs.sb.freeBlocks {
+		return fmt.Errorf("disklayer: bitmap free count %d != superblock %d", got, fs.sb.freeBlocks)
+	}
+	return nil
+}
+
+// FSName implements fsys.FS.
+func (fs *DiskFS) FSName() string { return fs.name }
+
+// StackOn implements fsys.StackableFS; the disk layer is a base layer.
+func (fs *DiskFS) StackOn(under fsys.StackableFS) error {
+	return fmt.Errorf("disklayer: %w: disk layer builds directly on a storage device", fsys.ErrAlreadyStacked)
+}
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (fs *DiskFS) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.WrapStackable(ch, fs)
+}
+
+// walkDir resolves all but the last component of name to a directory
+// inode. Caller holds fs.mu.
+func (fs *DiskFS) walkDir(name string) (dirIno uint64, last string, err error) {
+	parts, err := naming.SplitName(name)
+	if err != nil {
+		return 0, "", err
+	}
+	dirIno = RootIno
+	for _, p := range parts[:len(parts)-1] {
+		dirIno, err = fs.dirLookup(dirIno, p)
+		if err != nil {
+			return 0, "", err
+		}
+	}
+	return dirIno, parts[len(parts)-1], nil
+}
+
+// Create implements fsys.FS.
+func (fs *DiskFS) Create(name string, cred naming.Credentials) (fsys.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, fsys.ErrClosed
+	}
+	dirIno, last, err := fs.walkDir(name)
+	if err != nil {
+		return nil, err
+	}
+	ci, err := fs.allocInode(ModeFile)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.dirInsert(dirIno, last, ci.ino); err != nil {
+		ferr := fs.freeInode(ci.ino)
+		if ferr != nil {
+			return nil, fmt.Errorf("%w (cleanup failed: %v)", err, ferr)
+		}
+		return nil, err
+	}
+	return fs.fileForLocked(ci.ino), nil
+}
+
+// Open implements fsys.FS.
+func (fs *DiskFS) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	obj, err := fs.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.AsFile(obj)
+}
+
+// Remove implements fsys.FS.
+func (fs *DiskFS) Remove(name string, cred naming.Credentials) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fsys.ErrClosed
+	}
+	dirIno, last, err := fs.walkDir(name)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.dirLookup(dirIno, last)
+	if err != nil {
+		return err
+	}
+	ci, err := fs.readInode(ino)
+	if err != nil {
+		return err
+	}
+	if ci.in.mode == ModeDir {
+		entries, _, derr := fs.dirEntries(ino)
+		if derr != nil {
+			return derr
+		}
+		if len(entries) > 0 {
+			return ErrDirNotEmpty
+		}
+	}
+	if _, err := fs.dirRemove(dirIno, last); err != nil {
+		return err
+	}
+	if err := fs.freeInode(ino); err != nil {
+		return err
+	}
+	delete(fs.files, ino)
+	delete(fs.dirs, ino)
+	return nil
+}
+
+// SyncFS implements fsys.FS: flush dirty inodes and the superblock.
+func (fs *DiskFS) SyncFS() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, ci := range fs.icache {
+		if ci.dirty {
+			if err := fs.writeInode(ci); err != nil {
+				return err
+			}
+		}
+	}
+	buf := make([]byte, BlockSize)
+	fs.sb.encode(buf)
+	if err := fs.dev.WriteBlock(0, buf); err != nil {
+		return err
+	}
+	return fs.dev.Flush()
+}
+
+// Unmount flushes and marks the file system closed.
+func (fs *DiskFS) Unmount() error {
+	if err := fs.SyncFS(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.closed = true
+	return nil
+}
+
+// fileForLocked returns the canonical file object for ino. One object per
+// inode keeps the bind contract: equivalent opens share the pager-cache
+// connection and therefore cached pages.
+func (fs *DiskFS) fileForLocked(ino uint64) *diskFile {
+	if f, ok := fs.files[ino]; ok {
+		return f
+	}
+	f := &diskFile{fs: fs, ino: ino}
+	f.io = fsys.NewMappedIO(fs.vmm, f)
+	fs.files[ino] = f
+	return f
+}
+
+// dirForLocked returns the canonical directory context for ino.
+func (fs *DiskFS) dirForLocked(ino uint64) *diskDir {
+	if d, ok := fs.dirs[ino]; ok {
+		return d
+	}
+	d := &diskDir{fs: fs, ino: ino}
+	fs.dirs[ino] = d
+	return d
+}
+
+// Resolve implements naming.Context (the file system is its own root
+// directory context).
+func (fs *DiskFS) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	return fs.rootDir().Resolve(name, cred)
+}
+
+// Bind implements naming.Context; disk directories store only files and
+// directories created through the file system.
+func (fs *DiskFS) Bind(name string, obj naming.Object, cred naming.Credentials) error {
+	return fs.rootDir().Bind(name, obj, cred)
+}
+
+// Unbind implements naming.Context.
+func (fs *DiskFS) Unbind(name string, cred naming.Credentials) error {
+	return fs.rootDir().Unbind(name, cred)
+}
+
+// List implements naming.Context.
+func (fs *DiskFS) List(cred naming.Credentials) ([]naming.Binding, error) {
+	return fs.rootDir().List(cred)
+}
+
+// CreateContext implements naming.Context (mkdir).
+func (fs *DiskFS) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
+	return fs.rootDir().CreateContext(name, cred)
+}
+
+func (fs *DiskFS) rootDir() *diskDir {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.dirForLocked(RootIno)
+}
+
+// diskDir is a directory exposed as a naming context.
+type diskDir struct {
+	fs  *DiskFS
+	ino uint64
+}
+
+var (
+	_ naming.Context        = (*diskDir)(nil)
+	_ naming.ProxyWrappable = (*diskDir)(nil)
+)
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (d *diskDir) WrapForChannel(ch *spring.Channel) naming.Object {
+	return naming.NewContextProxy(ch, d)
+}
+
+// Resolve implements naming.Context.
+func (d *diskDir) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	parts, err := naming.SplitName(name)
+	if err != nil {
+		return nil, err
+	}
+	d.fs.mu.Lock()
+	defer d.fs.mu.Unlock()
+	ino := d.ino
+	for i, p := range parts {
+		ino, err = d.fs.dirLookup(ino, p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q", naming.ErrNotFound, p)
+		}
+		ci, rerr := d.fs.readInode(ino)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if i < len(parts)-1 && ci.in.mode != ModeDir {
+			return nil, naming.ErrNotContext
+		}
+		if i == len(parts)-1 {
+			if ci.in.mode == ModeDir {
+				return d.fs.dirForLocked(ino), nil
+			}
+			return d.fs.fileForLocked(ino), nil
+		}
+	}
+	return nil, naming.ErrBadName
+}
+
+// Bind implements naming.Context. Disk directories persist only file
+// system objects; arbitrary object bindings belong in in-memory contexts.
+func (d *diskDir) Bind(name string, obj naming.Object, cred naming.Credentials) error {
+	if f, ok := obj.(*diskFile); ok && f.fs == d.fs {
+		d.fs.mu.Lock()
+		defer d.fs.mu.Unlock()
+		parts, err := naming.SplitName(name)
+		if err != nil {
+			return err
+		}
+		if len(parts) != 1 {
+			return naming.ErrBadName
+		}
+		ci, err := d.fs.readInode(f.ino)
+		if err != nil {
+			return err
+		}
+		if err := d.fs.dirInsert(d.ino, parts[0], f.ino); err != nil {
+			return err
+		}
+		ci.in.nlink++
+		ci.dirty = true
+		return nil
+	}
+	return fmt.Errorf("disklayer: cannot bind foreign objects into an on-disk directory")
+}
+
+// Unbind implements naming.Context: it removes the entry and frees the
+// inode when the last link goes away.
+func (d *diskDir) Unbind(name string, cred naming.Credentials) error {
+	d.fs.mu.Lock()
+	defer d.fs.mu.Unlock()
+	parts, err := naming.SplitName(name)
+	if err != nil {
+		return err
+	}
+	if len(parts) != 1 {
+		return naming.ErrBadName
+	}
+	ino, err := d.fs.dirLookup(d.ino, parts[0])
+	if err != nil {
+		return fmt.Errorf("%w: %q", naming.ErrNotFound, parts[0])
+	}
+	ci, err := d.fs.readInode(ino)
+	if err != nil {
+		return err
+	}
+	if ci.in.mode == ModeDir {
+		entries, _, derr := d.fs.dirEntries(ino)
+		if derr != nil {
+			return derr
+		}
+		if len(entries) > 0 {
+			return ErrDirNotEmpty
+		}
+	}
+	if _, err := d.fs.dirRemove(d.ino, parts[0]); err != nil {
+		return err
+	}
+	if ci.in.nlink > 1 {
+		ci.in.nlink--
+		ci.dirty = true
+		return nil
+	}
+	if err := d.fs.freeInode(ino); err != nil {
+		return err
+	}
+	delete(d.fs.files, ino)
+	delete(d.fs.dirs, ino)
+	return nil
+}
+
+// List implements naming.Context.
+func (d *diskDir) List(cred naming.Credentials) ([]naming.Binding, error) {
+	d.fs.mu.Lock()
+	defer d.fs.mu.Unlock()
+	entries, _, err := d.fs.dirEntries(d.ino)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]naming.Binding, 0, len(entries))
+	for _, e := range entries {
+		ci, err := d.fs.readInode(e.ino)
+		if err != nil {
+			return nil, err
+		}
+		var obj naming.Object
+		if ci.in.mode == ModeDir {
+			obj = d.fs.dirForLocked(e.ino)
+		} else {
+			obj = d.fs.fileForLocked(e.ino)
+		}
+		out = append(out, naming.Binding{Name: e.name, Object: obj})
+	}
+	return out, nil
+}
+
+// CreateContext implements naming.Context (mkdir). Compound names create
+// the final directory under the (existing) prefix.
+func (d *diskDir) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
+	d.fs.mu.Lock()
+	defer d.fs.mu.Unlock()
+	parts, err := naming.SplitName(name)
+	if err != nil {
+		return nil, err
+	}
+	dirIno := d.ino
+	for _, p := range parts[:len(parts)-1] {
+		dirIno, err = d.fs.dirLookup(dirIno, p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q", naming.ErrNotFound, p)
+		}
+	}
+	ci, err := d.fs.allocInode(ModeDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.fs.dirInsert(dirIno, parts[len(parts)-1], ci.ino); err != nil {
+		if ferr := d.fs.freeInode(ci.ino); ferr != nil {
+			return nil, fmt.Errorf("%w (cleanup failed: %v)", err, ferr)
+		}
+		return nil, err
+	}
+	return d.fs.dirForLocked(ci.ino), nil
+}
+
+// Ino returns the directory's inode number (tests).
+func (d *diskDir) Ino() uint64 { return d.ino }

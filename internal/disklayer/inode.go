@@ -1,0 +1,326 @@
+package disklayer
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// cachedInode is an entry in the disk layer's i-node cache. The cache is
+// the small, wired-down state the paper attributes to the disk layer: it
+// lets open and stat operations complete without disk I/O.
+type cachedInode struct {
+	ino   uint64
+	in    inode
+	dirty bool
+}
+
+// readInode returns the cached inode for ino, loading it from the inode
+// table if needed. Caller holds fs.mu.
+func (fs *DiskFS) readInode(ino uint64) (*cachedInode, error) {
+	if ino == 0 || int64(ino) > fs.sb.ninodes {
+		return nil, fmt.Errorf("%w: %d", ErrBadInode, ino)
+	}
+	if ci, ok := fs.icache[ino]; ok {
+		return ci, nil
+	}
+	blk := fs.sb.itableStart + int64(ino)/InodesPerBlock
+	buf := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlock(blk, buf); err != nil {
+		return nil, err
+	}
+	ci := &cachedInode{ino: ino}
+	ci.in.decode(buf[(int64(ino)%InodesPerBlock)*InodeSize:])
+	fs.icache[ino] = ci
+	return ci, nil
+}
+
+// writeInode flushes a cached inode to the inode table. Caller holds
+// fs.mu.
+func (fs *DiskFS) writeInode(ci *cachedInode) error {
+	blk := fs.sb.itableStart + int64(ci.ino)/InodesPerBlock
+	buf := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlock(blk, buf); err != nil {
+		return err
+	}
+	ci.in.encode(buf[(int64(ci.ino)%InodesPerBlock)*InodeSize:])
+	if err := fs.dev.WriteBlock(blk, buf); err != nil {
+		return err
+	}
+	ci.dirty = false
+	return nil
+}
+
+// allocInode allocates a fresh inode with the given mode. Caller holds
+// fs.mu.
+func (fs *DiskFS) allocInode(mode uint32) (*cachedInode, error) {
+	if fs.sb.freeInodes == 0 {
+		return nil, ErrNoInodes
+	}
+	for ino := uint64(1); int64(ino) <= fs.sb.ninodes; ino++ {
+		ci, err := fs.readInode(ino)
+		if err != nil {
+			return nil, err
+		}
+		if ci.in.mode == ModeFree {
+			ci.in = inode{mode: mode, nlink: 1, atime: fs.now(), mtime: fs.now()}
+			ci.dirty = true
+			fs.sb.freeInodes--
+			if err := fs.writeInode(ci); err != nil {
+				return nil, err
+			}
+			return ci, nil
+		}
+	}
+	return nil, ErrNoInodes
+}
+
+// freeInode releases ino and all of its data blocks. Caller holds fs.mu.
+func (fs *DiskFS) freeInode(ino uint64) error {
+	ci, err := fs.readInode(ino)
+	if err != nil {
+		return err
+	}
+	if err := fs.truncateLocked(ci, 0); err != nil {
+		return err
+	}
+	ci.in = inode{mode: ModeFree}
+	ci.dirty = true
+	fs.sb.freeInodes++
+	if err := fs.writeInode(ci); err != nil {
+		return err
+	}
+	delete(fs.icache, ino)
+	return nil
+}
+
+// readPtrBlock reads an indirect block as big-endian pointers. Indirect
+// blocks are cached in memory alongside the i-node cache (the disk
+// layer's small wired-down state): block mapping must not cost a disk I/O
+// per page, or metadata reads would dominate every data access.
+func (fs *DiskFS) readPtrBlock(bn int64) ([]int64, error) {
+	if ptrs, ok := fs.mcache[bn]; ok {
+		return ptrs, nil
+	}
+	buf := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlock(bn, buf); err != nil {
+		return nil, err
+	}
+	ptrs := make([]int64, PtrsPerBlock)
+	for i := range ptrs {
+		ptrs[i] = int64(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	fs.mcache[bn] = ptrs
+	return ptrs, nil
+}
+
+// writePtrBlock writes an indirect block (write-through: the cache and the
+// device stay in step).
+func (fs *DiskFS) writePtrBlock(bn int64, ptrs []int64) error {
+	buf := make([]byte, BlockSize)
+	for i, p := range ptrs {
+		binary.BigEndian.PutUint64(buf[8*i:], uint64(p))
+	}
+	if err := fs.dev.WriteBlock(bn, buf); err != nil {
+		delete(fs.mcache, bn)
+		return err
+	}
+	fs.mcache[bn] = ptrs
+	return nil
+}
+
+// bmap maps file block fbn of inode ci to a device block. With alloc set,
+// missing blocks (and missing indirect blocks) are allocated. A return of
+// 0 with alloc unset means a hole (reads as zeros). Caller holds fs.mu.
+func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
+	if fbn < 0 || fbn >= MaxFileBlocks {
+		return 0, ErrFileTooBig
+	}
+	// Direct pointers.
+	if fbn < NumDirect {
+		if ci.in.direct[fbn] == 0 && alloc {
+			bn, err := fs.allocZeroed()
+			if err != nil {
+				return 0, err
+			}
+			ci.in.direct[fbn] = bn
+			ci.dirty = true
+		}
+		return ci.in.direct[fbn], nil
+	}
+	fbn -= NumDirect
+	// Single indirect.
+	if fbn < PtrsPerBlock {
+		if ci.in.indirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			bn, err := fs.allocZeroed()
+			if err != nil {
+				return 0, err
+			}
+			ci.in.indirect = bn
+			ci.dirty = true
+		}
+		ptrs, err := fs.readPtrBlock(ci.in.indirect)
+		if err != nil {
+			return 0, err
+		}
+		if ptrs[fbn] == 0 && alloc {
+			bn, err := fs.allocZeroed()
+			if err != nil {
+				return 0, err
+			}
+			ptrs[fbn] = bn
+			if err := fs.writePtrBlock(ci.in.indirect, ptrs); err != nil {
+				return 0, err
+			}
+		}
+		return ptrs[fbn], nil
+	}
+	fbn -= PtrsPerBlock
+	// Double indirect.
+	if ci.in.dindirect == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		bn, err := fs.allocZeroed()
+		if err != nil {
+			return 0, err
+		}
+		ci.in.dindirect = bn
+		ci.dirty = true
+	}
+	outer, err := fs.readPtrBlock(ci.in.dindirect)
+	if err != nil {
+		return 0, err
+	}
+	oi := fbn / PtrsPerBlock
+	ii := fbn % PtrsPerBlock
+	if outer[oi] == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		bn, err := fs.allocZeroed()
+		if err != nil {
+			return 0, err
+		}
+		outer[oi] = bn
+		if err := fs.writePtrBlock(ci.in.dindirect, outer); err != nil {
+			return 0, err
+		}
+	}
+	inner, err := fs.readPtrBlock(outer[oi])
+	if err != nil {
+		return 0, err
+	}
+	if inner[ii] == 0 && alloc {
+		bn, err := fs.allocZeroed()
+		if err != nil {
+			return 0, err
+		}
+		inner[ii] = bn
+		if err := fs.writePtrBlock(outer[oi], inner); err != nil {
+			return 0, err
+		}
+	}
+	return inner[ii], nil
+}
+
+// allocZeroed allocates a data block and zeroes it on the device, so holes
+// materialise as zeros even if the block previously held data. Any stale
+// metadata cache entry for a reused block is dropped.
+func (fs *DiskFS) allocZeroed() (int64, error) {
+	bn, err := fs.alloc.alloc()
+	if err != nil {
+		return 0, err
+	}
+	delete(fs.mcache, bn)
+	if err := fs.dev.WriteBlock(bn, fs.zero); err != nil {
+		_ = fs.alloc.free(bn)
+		return 0, err
+	}
+	return bn, nil
+}
+
+// truncateLocked shrinks (or extends) the file to length bytes, freeing
+// whole blocks past the new end. Caller holds fs.mu.
+func (fs *DiskFS) truncateLocked(ci *cachedInode, length int64) error {
+	oldBlocks := (ci.in.length + BlockSize - 1) / BlockSize
+	newBlocks := (length + BlockSize - 1) / BlockSize
+	for fbn := newBlocks; fbn < oldBlocks; fbn++ {
+		bn, err := fs.bmap(ci, fbn, false)
+		if err != nil {
+			return err
+		}
+		if bn != 0 {
+			if err := fs.clearPtr(ci, fbn); err != nil {
+				return err
+			}
+			if err := fs.alloc.free(bn); err != nil {
+				return err
+			}
+		}
+	}
+	// Free now-unused indirect structures when truncating to zero.
+	if newBlocks == 0 {
+		if ci.in.indirect != 0 {
+			delete(fs.mcache, ci.in.indirect)
+			if err := fs.alloc.free(ci.in.indirect); err != nil {
+				return err
+			}
+			ci.in.indirect = 0
+		}
+		if ci.in.dindirect != 0 {
+			outer, err := fs.readPtrBlock(ci.in.dindirect)
+			if err != nil {
+				return err
+			}
+			for _, bn := range outer {
+				if bn != 0 {
+					delete(fs.mcache, bn)
+					if err := fs.alloc.free(bn); err != nil {
+						return err
+					}
+				}
+			}
+			delete(fs.mcache, ci.in.dindirect)
+			if err := fs.alloc.free(ci.in.dindirect); err != nil {
+				return err
+			}
+			ci.in.dindirect = 0
+		}
+	}
+	ci.in.length = length
+	ci.in.mtime = fs.now()
+	ci.dirty = true
+	return nil
+}
+
+// clearPtr zeroes the pointer to file block fbn. Caller holds fs.mu.
+func (fs *DiskFS) clearPtr(ci *cachedInode, fbn int64) error {
+	if fbn < NumDirect {
+		ci.in.direct[fbn] = 0
+		ci.dirty = true
+		return nil
+	}
+	fbn -= NumDirect
+	if fbn < PtrsPerBlock {
+		ptrs, err := fs.readPtrBlock(ci.in.indirect)
+		if err != nil {
+			return err
+		}
+		ptrs[fbn] = 0
+		return fs.writePtrBlock(ci.in.indirect, ptrs)
+	}
+	fbn -= PtrsPerBlock
+	outer, err := fs.readPtrBlock(ci.in.dindirect)
+	if err != nil {
+		return err
+	}
+	inner, err := fs.readPtrBlock(outer[fbn/PtrsPerBlock])
+	if err != nil {
+		return err
+	}
+	inner[fbn%PtrsPerBlock] = 0
+	return fs.writePtrBlock(outer[fbn/PtrsPerBlock], inner)
+}

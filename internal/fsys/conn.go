@@ -1,0 +1,229 @@
+package fsys
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// WrapPager returns a client-side stub for pager reachable over ch,
+// preserving the dynamic subtype so narrowing works across domains: an
+// fs_pager server yields an fs_pager proxy, a hinted pager a hinted proxy,
+// a plain pager a plain proxy. For same-domain channels the implementation
+// itself is returned.
+func WrapPager(ch *spring.Channel, pager vm.PagerObject) vm.PagerObject {
+	if ch.Path() == spring.PathSameDomain {
+		return pager
+	}
+	if fp, ok := pager.(FsPagerObject); ok {
+		proxy := NewFsPagerProxy(ch, fp)
+		if hp, ok := pager.(vm.HintedPager); ok {
+			return &hintedFsPagerProxy{FsPagerObject: proxy, ch: ch, hinted: hp}
+		}
+		return proxy
+	}
+	return vm.NewPagerProxy(ch, pager)
+}
+
+// hintedFsPagerProxy preserves both the fs_pager and the hinted-pager
+// subtypes across a domain boundary, so narrowing works for either.
+type hintedFsPagerProxy struct {
+	FsPagerObject
+	ch     *spring.Channel
+	hinted vm.HintedPager
+}
+
+var (
+	_ FsPagerObject  = (*hintedFsPagerProxy)(nil)
+	_ vm.HintedPager = (*hintedFsPagerProxy)(nil)
+)
+
+// PageInHint implements vm.HintedPager.
+func (p *hintedFsPagerProxy) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rights) ([]byte, error) {
+	var (
+		data []byte
+		err  error
+	)
+	p.ch.Call(func() { data, err = p.hinted.PageInHint(offset, minSize, maxSize, access) })
+	return data, err
+}
+
+// WrapCache is the cache-object counterpart of WrapPager.
+func WrapCache(ch *spring.Channel, cache vm.CacheObject) vm.CacheObject {
+	if ch.Path() == spring.PathSameDomain {
+		return cache
+	}
+	if fc, ok := cache.(FsCacheObject); ok {
+		return NewFsCacheProxy(ch, fc)
+	}
+	return vm.NewCacheProxy(ch, cache)
+}
+
+// Connection is one established pager-cache object connection between a
+// pager (the owner of the ConnectionTable) and a cache manager.
+type Connection struct {
+	// Manager is the cache manager on the other end.
+	Manager vm.CacheManager
+	// Backing identifies the underlying file at the pager.
+	Backing uint64
+	// Cache is the manager's cache object, wrapped for invocation from
+	// the pager's domain. The pager performs coherency actions through
+	// it.
+	Cache vm.CacheObject
+	// FsCache is non-nil when Cache narrowed to fs_cache: the manager is
+	// a file system and participates in attribute coherency.
+	FsCache FsCacheObject
+	// Rights is the cache-rights token the manager issued for the
+	// connection; Bind returns it to callers so equivalent memory objects
+	// share cached pages.
+	Rights vm.CacheRights
+	// Pager is the pager object that was handed to the manager
+	// (pre-wrapping), retained for DoneWith bookkeeping.
+	Pager vm.PagerObject
+}
+
+// ConnectionAware is implemented by pager objects that track which
+// pager-cache connection they serve (for example, a coherency-layer pager
+// adjusts per-connection block holdings). The connection table attaches the
+// connection to the pager before the bind completes.
+type ConnectionAware interface {
+	// AttachConnection hands the pager its connection record.
+	AttachConnection(c *Connection)
+}
+
+// connKey identifies a connection: one per (cache manager, backing file).
+type connKey struct {
+	manager vm.CacheManager
+	backing uint64
+}
+
+// ConnectionTable implements the pager side of the bind protocol (Section
+// 3.3.2): when a bind operation arrives, the pager must determine whether
+// there is already a pager-cache connection for the memory object at the
+// given cache manager. If not, the pager and the manager exchange pager,
+// cache, and cache-rights objects; either way the appropriate cache-rights
+// object is returned to the binder.
+type ConnectionTable struct {
+	domain *spring.Domain // the pager's domain
+
+	mu    sync.Mutex
+	conns map[connKey]*Connection
+
+	// fsCacheConns counts connections whose manager is an fs_cache, so
+	// the attribute-coherency fast path is a single atomic load.
+	fsCacheConns atomic.Int32
+}
+
+// NewConnectionTable creates a table for a pager served by domain.
+func NewConnectionTable(domain *spring.Domain) *ConnectionTable {
+	return &ConnectionTable{domain: domain, conns: make(map[connKey]*Connection)}
+}
+
+// Bind returns the cache-rights for (manager, backing), performing the
+// object exchange if the connection does not exist yet. mkPager supplies
+// the pager object for the backing file; it is only invoked for new
+// connections. The boolean result reports whether a new connection was
+// created.
+func (t *ConnectionTable) Bind(manager vm.CacheManager, backing uint64, mkPager func() vm.PagerObject) (vm.CacheRights, *Connection, bool) {
+	t.mu.Lock()
+	key := connKey{manager: manager, backing: backing}
+	if c, ok := t.conns[key]; ok {
+		t.mu.Unlock()
+		return c.Rights, c, false
+	}
+	t.mu.Unlock()
+
+	// Exchange objects outside the table lock: NewConnection may call
+	// back into this pager (and binds for other files must proceed).
+	rawPager := mkPager()
+	toPager := spring.Connect(manager.ManagerDomain(), t.domain)
+	pagerForManager := WrapPager(toPager, rawPager)
+	cache, rights := manager.NewConnection(pagerForManager)
+	toManager := spring.Connect(t.domain, manager.ManagerDomain())
+	wrappedCache := WrapCache(toManager, cache)
+
+	c := &Connection{
+		Manager: manager,
+		Backing: backing,
+		Cache:   wrappedCache,
+		Rights:  rights,
+		Pager:   rawPager,
+	}
+	if fc, ok := spring.Narrow[FsCacheObject](wrappedCache); ok {
+		c.FsCache = fc
+	}
+	if ca, ok := rawPager.(ConnectionAware); ok {
+		ca.AttachConnection(c)
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.conns[key]; ok {
+		// Lost a bind race; use the established connection.
+		return existing.Rights, existing, false
+	}
+	t.conns[key] = c
+	if c.FsCache != nil {
+		t.fsCacheConns.Add(1)
+	}
+	return c.Rights, c, true
+}
+
+// ConnectionsFor returns all connections for a backing file. Pagers
+// iterate these to perform coherency actions against every cache manager
+// caching the file.
+func (t *ConnectionTable) ConnectionsFor(backing uint64) []*Connection {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Connection
+	for k, c := range t.conns {
+		if k.backing == backing {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasFsCache reports whether any connection for backing belongs to an
+// fs_cache manager. Pagers use it as a fast path: when only plain cache
+// managers (VMMs) are attached there is nobody to run the attribute
+// coherency protocol with.
+func (t *ConnectionTable) HasFsCache(backing uint64) bool {
+	if t.fsCacheConns.Load() == 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, c := range t.conns {
+		if k.backing == backing && c.FsCache != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove drops the connection for (manager, backing), returning it if it
+// existed. Called when a cache manager is done with the pager object.
+func (t *ConnectionTable) Remove(manager vm.CacheManager, backing uint64) *Connection {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := connKey{manager: manager, backing: backing}
+	c := t.conns[key]
+	delete(t.conns, key)
+	if c != nil && c.FsCache != nil {
+		t.fsCacheConns.Add(-1)
+	}
+	return c
+}
+
+// Len returns the number of established connections.
+func (t *ConnectionTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}
+
+// Domain returns the pager's domain.
+func (t *ConnectionTable) Domain() *spring.Domain { return t.domain }

@@ -1,0 +1,241 @@
+package interpose
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/coherency"
+	"springfs/internal/disklayer"
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+func newSFS(t *testing.T) (*coherency.CohFS, *vm.VMM, *spring.Node) {
+	t.Helper()
+	node := spring.NewNode("n")
+	t.Cleanup(node.Stop)
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	dev := blockdev.NewMem(512, blockdev.ProfileNone)
+	if err := disklayer.Mkfs(dev, disklayer.MkfsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	domain := spring.NewDomain(node, "disk")
+	disk, err := disklayer.Mount(dev, domain, vmm, "disk0a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfs := coherency.New(domain, vmm, "sfs")
+	if err := sfs.StackOn(disk); err != nil {
+		t.Fatal(err)
+	}
+	return sfs, vmm, node
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	sfs, _, _ := newSFS(t)
+	orig, err := sfs.Create("plain", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(orig, Hooks{})
+	msg := []byte("passes through")
+	if _, err := w.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := w.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read = %q", got)
+	}
+	if _, err := w.Stat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var _ fsys.File = w
+}
+
+func TestReadOnlyWatchdog(t *testing.T) {
+	sfs, _, _ := newSFS(t)
+	orig, err := sfs.Create("ro", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.WriteAt([]byte("frozen"), 0); err != nil {
+		t.Fatal(err)
+	}
+	denied := errors.New("watchdog: file is read-only")
+	w := New(orig, Hooks{
+		WriteAt: func(orig fsys.File, p []byte, off int64) (int, error) {
+			return 0, denied
+		},
+		SetLength: func(orig fsys.File, length int64) error {
+			return denied
+		},
+	})
+	if _, err := w.WriteAt([]byte("nope"), 0); !errors.Is(err, denied) {
+		t.Errorf("write error = %v", err)
+	}
+	if err := w.SetLength(0); !errors.Is(err, denied) {
+		t.Errorf("truncate error = %v", err)
+	}
+	got := make([]byte, 6)
+	if _, err := w.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "frozen" {
+		t.Errorf("read = %q", got)
+	}
+}
+
+func TestTransformingWatchdog(t *testing.T) {
+	// A watchdog that upper-cases data on the way out — user-defined file
+	// semantics, as in the watchdogs paper.
+	sfs, _, _ := newSFS(t)
+	orig, err := sfs.Create("loud", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.WriteAt([]byte("quiet words"), 0); err != nil {
+		t.Fatal(err)
+	}
+	w := New(orig, Hooks{
+		ReadAt: func(orig fsys.File, p []byte, off int64) (int, error) {
+			n, err := orig.ReadAt(p, off)
+			for i := 0; i < n; i++ {
+				if p[i] >= 'a' && p[i] <= 'z' {
+					p[i] -= 'a' - 'A'
+				}
+			}
+			return n, err
+		},
+	})
+	got := make([]byte, 11)
+	if _, err := w.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "QUIET WORDS" {
+		t.Errorf("transformed read = %q", got)
+	}
+	// The original is untouched.
+	if _, err := orig.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "quiet words" {
+		t.Errorf("original = %q", got)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	sfs, _, _ := newSFS(t)
+	orig, err := sfs.Create("audited", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trail []string
+	w := New(orig, Hooks{Observe: func(op string) { trail = append(trail, op) }})
+	if _, err := w.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ReadAt(make([]byte, 1), 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := w.Stat(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"write", "read", "stat"}
+	if len(trail) != len(want) {
+		t.Fatalf("trail = %v", trail)
+	}
+	for i := range want {
+		if trail[i] != want[i] {
+			t.Errorf("trail[%d] = %q, want %q", i, trail[i], want[i])
+		}
+	}
+}
+
+func TestWatchNameInterposesViaNaming(t *testing.T) {
+	// The Section 5 flow: resolve the context where the file is bound,
+	// rebind an interposer context in its place, intercept the one name.
+	sfs, _, _ := newSFS(t)
+	if _, err := sfs.Create("watched", naming.Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sfs.Create("unwatched", naming.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	parent := naming.NewContext()
+	if err := parent.Bind("fs", sfs, naming.Root); err != nil {
+		t.Fatal(err)
+	}
+	var reads int
+	_, err := WatchName(parent, "fs", "watched", Hooks{
+		Observe: func(op string) {
+			if op == "read" {
+				reads++
+			}
+		},
+	}, naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obj, err := parent.Resolve("fs/watched", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := fsys.AsFile(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wf.(*File); !ok {
+		t.Fatalf("resolved %T, want watchdog *File", wf)
+	}
+	if _, err := wf.ReadAt(make([]byte, 1), 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if reads != 1 {
+		t.Errorf("reads observed = %d", reads)
+	}
+	// The unwatched file passes through without wrapping.
+	obj2, err := parent.Resolve("fs/unwatched", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obj2.(*File); ok {
+		t.Error("unwatched file was wrapped")
+	}
+}
+
+func TestBindForwardsByDefault(t *testing.T) {
+	// Mapping a watched file defaults to the original's pager channel.
+	sfs, vmm, _ := newSFS(t)
+	orig, err := sfs.Create("mapped", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SetLength(vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	w := New(orig, Hooks{})
+	mW, err := vmm.Map(w, vm.RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mO, err := vmm.Map(orig, vm.RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mW.Cache() != mO.Cache() {
+		t.Error("watchdog bind did not forward to the original's connection")
+	}
+}

@@ -1,0 +1,436 @@
+// Package mirrorfs implements a mirroring file system layer — the fs4 of
+// Figure 3 in the paper, which "uses two underlying file systems to
+// implement its function (e.g. ... fs4 is a mirroring file system)".
+//
+// The layer is stacked on exactly two underlying file systems (StackOn is
+// called twice; "the maximum number of file systems a particular layer may
+// be stacked on is implementation dependent"). Writes go to both replicas;
+// reads are served by the primary and fall over to the mirror when the
+// primary fails, so the stack survives the loss of either underlying
+// store.
+package mirrorfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/stats"
+	"springfs/internal/vm"
+)
+
+// MirrorFS is an instance of the mirroring layer.
+type MirrorFS struct {
+	name   string
+	domain *spring.Domain
+	table  *fsys.ConnectionTable
+
+	mu          sync.Mutex
+	replicas    []fsys.StackableFS // exactly 2 once stacked
+	files       map[string]*mirrorFile
+	nextBacking atomic.Uint64
+
+	// Failovers counts reads served by the mirror after a primary
+	// failure; Degraded counts writes that reached only one replica.
+	Failovers stats.Counter
+	Degraded  stats.Counter
+}
+
+var (
+	_ fsys.StackableFS      = (*MirrorFS)(nil)
+	_ naming.ProxyWrappable = (*MirrorFS)(nil)
+)
+
+// New creates a mirroring layer served by domain.
+func New(domain *spring.Domain, name string) *MirrorFS {
+	return &MirrorFS{
+		name:   name,
+		domain: domain,
+		table:  fsys.NewConnectionTable(domain),
+		files:  make(map[string]*mirrorFile),
+	}
+}
+
+// NewCreator returns a stackable_fs_creator for mirroring layers.
+func NewCreator(domain *spring.Domain) fsys.Creator {
+	var n atomic.Uint64
+	return fsys.CreatorFunc(func(config map[string]string) (fsys.StackableFS, error) {
+		name := config["name"]
+		if name == "" {
+			name = fmt.Sprintf("mirrorfs%d", n.Add(1))
+		}
+		return New(domain, name), nil
+	})
+}
+
+// FSName implements fsys.FS.
+func (m *MirrorFS) FSName() string { return m.name }
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (m *MirrorFS) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.WrapStackable(ch, m)
+}
+
+// StackOn implements fsys.StackableFS; it must be called exactly twice,
+// once per replica (primary first).
+func (m *MirrorFS) StackOn(under fsys.StackableFS) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.replicas) >= 2 {
+		return fsys.ErrAlreadyStacked
+	}
+	m.replicas = append(m.replicas, under)
+	return nil
+}
+
+// both returns the two replicas or an error if the layer is not fully
+// stacked.
+func (m *MirrorFS) both() (fsys.StackableFS, fsys.StackableFS, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.replicas) < 2 {
+		return nil, nil, fmt.Errorf("mirrorfs: %w: need two underlying file systems, have %d",
+			fsys.ErrNotStacked, len(m.replicas))
+	}
+	return m.replicas[0], m.replicas[1], nil
+}
+
+// fileFor returns the canonical mirrored file for a path.
+func (m *MirrorFS) fileFor(name string, primary, mirror fsys.File) *mirrorFile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return f
+	}
+	f := &mirrorFile{
+		fs:      m,
+		name:    name,
+		primary: primary,
+		mirror:  mirror,
+		backing: m.nextBacking.Add(1),
+	}
+	m.files[name] = f
+	return f
+}
+
+// Create implements fsys.FS: the file is created on both replicas. If one
+// replica is down the create degrades to the survivor (like writes do)
+// rather than failing.
+func (m *MirrorFS) Create(name string, cred naming.Credentials) (fsys.File, error) {
+	r1, r2, err := m.both()
+	if err != nil {
+		return nil, err
+	}
+	f1, err1 := r1.Create(name, cred)
+	f2, err2 := r2.Create(name, cred)
+	if err1 != nil && err2 != nil {
+		return nil, fmt.Errorf("mirrorfs: create failed on both replicas: %w", err1)
+	}
+	if err1 != nil || err2 != nil {
+		m.Degraded.Inc()
+	}
+	return m.fileFor(name, f1, f2), nil
+}
+
+// Open implements fsys.FS.
+func (m *MirrorFS) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	obj, err := m.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.AsFile(obj)
+}
+
+// Remove implements fsys.FS: removed from both replicas; the first error
+// wins but both removals are attempted.
+func (m *MirrorFS) Remove(name string, cred naming.Credentials) error {
+	r1, r2, err := m.both()
+	if err != nil {
+		return err
+	}
+	err1 := r1.Remove(name, cred)
+	err2 := r2.Remove(name, cred)
+	m.mu.Lock()
+	delete(m.files, name)
+	m.mu.Unlock()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// SyncFS implements fsys.FS.
+func (m *MirrorFS) SyncFS() error {
+	r1, r2, err := m.both()
+	if err != nil {
+		return err
+	}
+	if err := r1.SyncFS(); err != nil {
+		return err
+	}
+	return r2.SyncFS()
+}
+
+// Resolve implements naming.Context. The file must exist on at least one
+// replica; a missing replica copy degrades rather than fails.
+func (m *MirrorFS) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	r1, r2, err := m.both()
+	if err != nil {
+		return nil, err
+	}
+	obj1, err1 := r1.Resolve(name, cred)
+	obj2, err2 := r2.Resolve(name, cred)
+	if err1 != nil && err2 != nil {
+		return nil, err1
+	}
+	f1, _ := obj1.(fsys.File)
+	f2, _ := obj2.(fsys.File)
+	if f1 == nil && f2 == nil {
+		// Both resolved to contexts (directories): expose the primary's.
+		if ctx, ok := obj1.(naming.Context); ok {
+			return ctx, nil
+		}
+		return obj2, nil
+	}
+	return m.fileFor(name, f1, f2), nil
+}
+
+// Bind implements naming.Context.
+func (m *MirrorFS) Bind(name string, obj naming.Object, cred naming.Credentials) error {
+	return fmt.Errorf("mirrorfs: bind is not supported; create files through the layer")
+}
+
+// Unbind implements naming.Context.
+func (m *MirrorFS) Unbind(name string, cred naming.Credentials) error {
+	return m.Remove(name, cred)
+}
+
+// List implements naming.Context (primary's listing, mirror on failure).
+func (m *MirrorFS) List(cred naming.Credentials) ([]naming.Binding, error) {
+	r1, r2, err := m.both()
+	if err != nil {
+		return nil, err
+	}
+	out, err := r1.List(cred)
+	if err != nil {
+		m.Failovers.Inc()
+		out, err = r2.List(cred)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if _, ok := out[i].Object.(fsys.File); ok {
+			obj, rerr := m.Resolve(out[i].Name, cred)
+			if rerr == nil {
+				out[i].Object = obj
+			}
+		}
+	}
+	return out, nil
+}
+
+// CreateContext implements naming.Context (directories on both replicas).
+func (m *MirrorFS) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
+	r1, r2, err := m.both()
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := r1.CreateContext(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r2.CreateContext(name, cred); err != nil {
+		return nil, fmt.Errorf("mirrorfs: mkdir on mirror: %w", err)
+	}
+	return ctx, nil
+}
+
+// mirrorFile is a file replicated on two underlying file systems.
+type mirrorFile struct {
+	fs      *MirrorFS
+	name    string
+	backing uint64
+	primary fsys.File // may be nil if the primary copy is missing
+	mirror  fsys.File // may be nil if the mirror copy is missing
+}
+
+var (
+	_ fsys.File             = (*mirrorFile)(nil)
+	_ naming.ProxyWrappable = (*mirrorFile)(nil)
+)
+
+// WrapForChannel implements naming.ProxyWrappable.
+func (f *mirrorFile) WrapForChannel(ch *spring.Channel) naming.Object {
+	return fsys.NewFileProxy(ch, f)
+}
+
+// readFrom runs op against the primary, failing over to the mirror.
+func (f *mirrorFile) readFrom(op func(fsys.File) error) error {
+	if f.primary != nil {
+		if err := op(f.primary); err == nil {
+			return nil
+		}
+	}
+	if f.mirror == nil {
+		return fmt.Errorf("mirrorfs: %s: both replicas unavailable", f.name)
+	}
+	f.fs.Failovers.Inc()
+	return op(f.mirror)
+}
+
+// writeBoth runs op against both replicas; it succeeds if at least one
+// replica accepted the write, counting the degradation.
+func (f *mirrorFile) writeBoth(op func(fsys.File) error) error {
+	var err1, err2 error
+	if f.primary != nil {
+		err1 = op(f.primary)
+	} else {
+		err1 = fmt.Errorf("mirrorfs: primary copy missing")
+	}
+	if f.mirror != nil {
+		err2 = op(f.mirror)
+	} else {
+		err2 = fmt.Errorf("mirrorfs: mirror copy missing")
+	}
+	switch {
+	case err1 == nil && err2 == nil:
+		return nil
+	case err1 == nil || err2 == nil:
+		f.fs.Degraded.Inc()
+		return nil
+	default:
+		return err1
+	}
+}
+
+// ReadAt implements fsys.File.
+func (f *mirrorFile) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	var readErr error
+	err := f.readFrom(func(r fsys.File) error {
+		var e error
+		n, e = r.ReadAt(p, off)
+		if errors.Is(e, io.EOF) {
+			readErr = e
+			return nil // EOF is a result, not a replica failure
+		}
+		readErr = e
+		return e
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, readErr
+}
+
+// WriteAt implements fsys.File.
+func (f *mirrorFile) WriteAt(p []byte, off int64) (int, error) {
+	err := f.writeBoth(func(r fsys.File) error {
+		_, e := r.WriteAt(p, off)
+		return e
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Stat implements fsys.File.
+func (f *mirrorFile) Stat() (fsys.Attributes, error) {
+	var attrs fsys.Attributes
+	err := f.readFrom(func(r fsys.File) error {
+		var e error
+		attrs, e = r.Stat()
+		return e
+	})
+	return attrs, err
+}
+
+// Sync implements fsys.File.
+func (f *mirrorFile) Sync() error {
+	return f.writeBoth(func(r fsys.File) error { return r.Sync() })
+}
+
+// Bind implements vm.MemoryObject: the mirroring layer is the pager for
+// its files (data differs in placement across replicas, so no lower cache
+// channel can be shared).
+func (f *mirrorFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
+	rights, _, _ := f.fs.table.Bind(caller, f.backing, func() vm.PagerObject {
+		return &mirrorPager{file: f}
+	})
+	return rights, nil
+}
+
+// GetLength implements vm.MemoryObject.
+func (f *mirrorFile) GetLength() (vm.Offset, error) {
+	var l vm.Offset
+	err := f.readFrom(func(r fsys.File) error {
+		var e error
+		l, e = r.GetLength()
+		return e
+	})
+	return l, err
+}
+
+// SetLength implements vm.MemoryObject.
+func (f *mirrorFile) SetLength(l vm.Offset) error {
+	return f.writeBoth(func(r fsys.File) error { return r.SetLength(l) })
+}
+
+// mirrorPager serves mapped access to mirrored files.
+type mirrorPager struct {
+	file *mirrorFile
+}
+
+var _ fsys.FsPagerObject = (*mirrorPager)(nil)
+
+// PageIn implements vm.PagerObject.
+func (p *mirrorPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, error) {
+	if !vm.PageAligned(offset, size) {
+		return nil, vm.ErrUnaligned
+	}
+	out := make([]byte, size)
+	err := p.file.readFrom(func(r fsys.File) error {
+		_, e := r.ReadAt(out, offset)
+		if errors.Is(e, io.EOF) {
+			return nil
+		}
+		return e
+	})
+	return out, err
+}
+
+// PageOut implements vm.PagerObject.
+func (p *mirrorPager) PageOut(offset, size vm.Offset, data []byte) error {
+	return p.file.writeBoth(func(r fsys.File) error {
+		_, e := r.WriteAt(data[:size], offset)
+		return e
+	})
+}
+
+// WriteOut implements vm.PagerObject.
+func (p *mirrorPager) WriteOut(offset, size vm.Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// Sync implements vm.PagerObject.
+func (p *mirrorPager) Sync(offset, size vm.Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// DoneWithPagerObject implements vm.PagerObject.
+func (p *mirrorPager) DoneWithPagerObject() {}
+
+// GetAttributes implements fsys.FsPagerObject.
+func (p *mirrorPager) GetAttributes() (fsys.Attributes, error) { return p.file.Stat() }
+
+// SetAttributes implements fsys.FsPagerObject.
+func (p *mirrorPager) SetAttributes(attrs fsys.Attributes) error {
+	return p.file.SetLength(attrs.Length)
+}

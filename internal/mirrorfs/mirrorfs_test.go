@@ -1,0 +1,269 @@
+package mirrorfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/coherency"
+	"springfs/internal/disklayer"
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// rig is the Figure 3 fs4 setup: a mirroring layer over two SFS instances
+// on two disks.
+type rig struct {
+	node   *spring.Node
+	dev1   *blockdev.MemDevice
+	dev2   *blockdev.MemDevice
+	sfs1   *coherency.CohFS
+	sfs2   *coherency.CohFS
+	mirror *MirrorFS
+	vmm    *vm.VMM
+}
+
+func newSFS(t *testing.T, node *spring.Node, vmm *vm.VMM, name string) (*coherency.CohFS, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(1024, blockdev.ProfileNone)
+	if err := disklayer.Mkfs(dev, disklayer.MkfsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	domain := spring.NewDomain(node, name)
+	disk, err := disklayer.Mount(dev, domain, vmm, name+"-disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coh := coherency.New(domain, vmm, name)
+	if err := coh.StackOn(disk); err != nil {
+		t.Fatal(err)
+	}
+	return coh, dev
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	node := spring.NewNode("n")
+	t.Cleanup(node.Stop)
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	sfs1, dev1 := newSFS(t, node, vmm, "sfs1")
+	sfs2, dev2 := newSFS(t, node, vmm, "sfs2")
+	m := New(spring.NewDomain(node, "mirror"), "mirror")
+	if err := m.StackOn(sfs1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StackOn(sfs2); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{node: node, dev1: dev1, dev2: dev2, sfs1: sfs1, sfs2: sfs2, mirror: m, vmm: vmm}
+}
+
+func TestWritesReachBothReplicas(t *testing.T) {
+	r := newRig(t)
+	f, err := r.mirror.Create("doc", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("replicated twice")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, sfs := range []*coherency.CohFS{r.sfs1, r.sfs2} {
+		rf, err := sfs.Open("doc", naming.Root)
+		if err != nil {
+			t.Fatalf("replica %d open: %v", i+1, err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := rf.ReadAt(got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("replica %d = %q", i+1, got)
+		}
+	}
+}
+
+func TestFailoverOnPrimaryLoss(t *testing.T) {
+	r := newRig(t)
+	f, err := r.mirror.Create("survivor", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("still readable")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mirror.SyncFS(); err != nil {
+		t.Fatal(err)
+	}
+	// Build a fresh mirror stack over the same replicas with cold caches
+	// (the warm coherency layer would otherwise hide the device failure),
+	// then kill the primary disk. Reads must fail over to the mirror.
+	m2 := New(spring.NewDomain(r.node, "mirror2"), "mirror2")
+	vmm2 := vm.New(spring.NewDomain(r.node, "vmm2"), "vmm2")
+	sfs1b, err := disklayerRemountCold(t, r, vmm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.StackOn(sfs1b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.StackOn(r.sfs2); err != nil {
+		t.Fatal(err)
+	}
+	r.dev1.FailReads(true)
+	defer r.dev1.FailReads(false)
+	f2, err := m2.Open("survivor", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("read with dead primary: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("failover read = %q", got)
+	}
+	if m2.Failovers.Value() == 0 {
+		t.Error("no failovers recorded")
+	}
+}
+
+// disklayerRemountCold mounts a fresh SFS over r.dev1 with empty caches.
+func disklayerRemountCold(t *testing.T, r *rig, vmm *vm.VMM) (fsys.StackableFS, error) {
+	t.Helper()
+	domain := spring.NewDomain(r.node, "sfs1-cold")
+	disk, err := disklayer.Mount(r.dev1, domain, vmm, "sfs1-cold")
+	if err != nil {
+		return nil, err
+	}
+	coh := coherency.New(domain, vmm, "sfs1-cold")
+	if err := coh.StackOn(disk); err != nil {
+		return nil, err
+	}
+	return coh, nil
+}
+
+func TestDegradedWrites(t *testing.T) {
+	r := newRig(t)
+	f, err := r.mirror.Create("degraded", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Make replica 2's device fail; writes continue in degraded mode
+	// because write-behind caching absorbs them — force the failure to
+	// surface by syncing.
+	r.dev2.FailWrites(true)
+	defer r.dev2.FailWrites(false)
+	if _, err := f.WriteAt([]byte("still fine"), 0); err != nil {
+		t.Errorf("degraded write failed: %v", err)
+	}
+}
+
+func TestStackOnLimit(t *testing.T) {
+	r := newRig(t)
+	third := New(spring.NewDomain(r.node, "x"), "x")
+	if err := r.mirror.StackOn(third); err != fsys.ErrAlreadyStacked {
+		t.Errorf("third StackOn error = %v, want ErrAlreadyStacked", err)
+	}
+}
+
+func TestNotFullyStacked(t *testing.T) {
+	node := spring.NewNode("n")
+	defer node.Stop()
+	m := New(spring.NewDomain(node, "m"), "m")
+	if _, err := m.Create("f", naming.Root); err == nil {
+		t.Error("create with one replica succeeded")
+	}
+}
+
+func TestMappedAccess(t *testing.T) {
+	r := newRig(t)
+	f, err := r.mirror.Create("mapped", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, vm.PageSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.vmm.Map(f, vm.RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("via map"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas got the mapped write.
+	for i, sfs := range []*coherency.CohFS{r.sfs1, r.sfs2} {
+		rf, err := sfs.Open("mapped", naming.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 7)
+		if _, err := rf.ReadAt(got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if string(got) != "via map" {
+			t.Errorf("replica %d mapped write = %q", i+1, got)
+		}
+	}
+}
+
+func TestRemoveFromBoth(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.mirror.Create("gone", naming.Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mirror.Remove("gone", naming.Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.sfs1.Open("gone", naming.Root); err == nil {
+		t.Error("replica 1 still has the file")
+	}
+	if _, err := r.sfs2.Open("gone", naming.Root); err == nil {
+		t.Error("replica 2 still has the file")
+	}
+}
+
+func TestStatAndLength(t *testing.T) {
+	r := newRig(t)
+	f, err := r.mirror.Create("meta", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs.Length != 100 {
+		t.Errorf("length = %d", attrs.Length)
+	}
+	if err := f.SetLength(50); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := f.GetLength(); l != 50 {
+		t.Errorf("after truncate length = %d", l)
+	}
+	// Truncation hit both replicas.
+	for i, sfs := range []*coherency.CohFS{r.sfs1, r.sfs2} {
+		rf, err := sfs.Open("meta", naming.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l, _ := rf.GetLength(); l != 50 {
+			t.Errorf("replica %d length = %d", i+1, l)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package naming
+
+import (
+	"container/list"
+	"sync"
+
+	"springfs/internal/stats"
+)
+
+// CachingContext is a name cache in front of a (possibly remote or
+// cross-domain) context. The paper's Section 6.4 observes that the open
+// overhead of splitting file system layers across domains can be eliminated
+// with name caching, and Section 8 lists name caching as work in progress;
+// this type implements it.
+//
+// The cache is a bounded LRU over single-component resolutions. Bind and
+// Unbind through the cache invalidate the affected entry; resolutions that
+// bypass the cache (another client talking to the backing context directly)
+// are not observed, so the cache is best placed where it wraps the only
+// path to the context, or flushed explicitly with Invalidate/Flush.
+type CachingContext struct {
+	backing  Context
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+
+	// Hits and Misses count cache outcomes; the Table 2 discussion uses
+	// them to show opens no longer cross domains.
+	Hits   stats.Counter
+	Misses stats.Counter
+}
+
+type cacheEntry struct {
+	name string
+	obj  Object
+}
+
+var _ Context = (*CachingContext)(nil)
+
+// DefaultNameCacheCapacity bounds a CachingContext when the caller passes a
+// non-positive capacity.
+const DefaultNameCacheCapacity = 1024
+
+// NewCachingContext wraps backing with an LRU name cache of the given
+// capacity.
+func NewCachingContext(backing Context, capacity int) *CachingContext {
+	if capacity <= 0 {
+		capacity = DefaultNameCacheCapacity
+	}
+	return &CachingContext{
+		backing:  backing,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Resolve implements Context. Single-component hits are served from the
+// cache without touching the backing context.
+func (cc *CachingContext) Resolve(name string, cred Credentials) (Object, error) {
+	parts, err := SplitName(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) > 1 {
+		return ResolveIn(cc, name, cred)
+	}
+	cc.mu.Lock()
+	if el, ok := cc.entries[parts[0]]; ok {
+		cc.lru.MoveToFront(el)
+		obj := el.Value.(*cacheEntry).obj
+		cc.mu.Unlock()
+		cc.Hits.Inc()
+		return obj, nil
+	}
+	cc.mu.Unlock()
+	cc.Misses.Inc()
+	obj, err := cc.backing.Resolve(parts[0], cred)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	if el, ok := cc.entries[parts[0]]; ok {
+		el.Value.(*cacheEntry).obj = obj
+		cc.lru.MoveToFront(el)
+	} else {
+		cc.entries[parts[0]] = cc.lru.PushFront(&cacheEntry{name: parts[0], obj: obj})
+		for cc.lru.Len() > cc.capacity {
+			oldest := cc.lru.Back()
+			cc.lru.Remove(oldest)
+			delete(cc.entries, oldest.Value.(*cacheEntry).name)
+		}
+	}
+	cc.mu.Unlock()
+	return obj, nil
+}
+
+// Bind implements Context, invalidating the affected entry.
+func (cc *CachingContext) Bind(name string, obj Object, cred Credentials) error {
+	cc.invalidateFirst(name)
+	return cc.backing.Bind(name, obj, cred)
+}
+
+// Unbind implements Context, invalidating the affected entry.
+func (cc *CachingContext) Unbind(name string, cred Credentials) error {
+	cc.invalidateFirst(name)
+	return cc.backing.Unbind(name, cred)
+}
+
+// List implements Context.
+func (cc *CachingContext) List(cred Credentials) ([]Binding, error) {
+	return cc.backing.List(cred)
+}
+
+// CreateContext implements Context.
+func (cc *CachingContext) CreateContext(name string, cred Credentials) (Context, error) {
+	cc.invalidateFirst(name)
+	return cc.backing.CreateContext(name, cred)
+}
+
+func (cc *CachingContext) invalidateFirst(name string) {
+	parts, err := SplitName(name)
+	if err != nil {
+		return
+	}
+	cc.Invalidate(parts[0])
+}
+
+// Invalidate drops the cache entry for a single component name.
+func (cc *CachingContext) Invalidate(name string) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.entries[name]; ok {
+		cc.lru.Remove(el)
+		delete(cc.entries, name)
+	}
+}
+
+// Flush empties the cache.
+func (cc *CachingContext) Flush() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.entries = make(map[string]*list.Element)
+	cc.lru.Init()
+}
+
+// Len returns the number of cached entries.
+func (cc *CachingContext) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.lru.Len()
+}

@@ -1,0 +1,267 @@
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestBindResolve(t *testing.T) {
+	c := NewContext()
+	if err := c.Bind("a", 42, Root); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	obj, err := c.Resolve("a", Root)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if obj != 42 {
+		t.Errorf("Resolve = %v, want 42", obj)
+	}
+}
+
+func TestResolveNotFound(t *testing.T) {
+	c := NewContext()
+	if _, err := c.Resolve("missing", Root); !errors.Is(err, ErrNotFound) {
+		t.Errorf("error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBindDuplicate(t *testing.T) {
+	c := NewContext()
+	if err := c.Bind("a", 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind("a", 2, Root); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate bind error = %v, want ErrExists", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	c := NewContext()
+	if err := c.Bind("a", 1, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unbind("a", Root); err != nil {
+		t.Fatalf("Unbind: %v", err)
+	}
+	if _, err := c.Resolve("a", Root); !errors.Is(err, ErrNotFound) {
+		t.Errorf("resolve after unbind error = %v, want ErrNotFound", err)
+	}
+	if err := c.Unbind("a", Root); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double unbind error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCompoundNames(t *testing.T) {
+	root := NewContext()
+	sub, err := root.CreateContext("dir", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.(Context).CreateContext("nested", Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Bind("dir/nested/file", "data", Root); err != nil {
+		t.Fatalf("compound bind: %v", err)
+	}
+	obj, err := root.Resolve("dir/nested/file", Root)
+	if err != nil {
+		t.Fatalf("compound resolve: %v", err)
+	}
+	if obj != "data" {
+		t.Errorf("resolve = %v, want data", obj)
+	}
+	// Leading/trailing slashes are normalised.
+	if _, err := root.Resolve("/dir/nested/file/", Root); err != nil {
+		t.Errorf("slash-trimmed resolve: %v", err)
+	}
+	if err := root.Unbind("dir/nested/file", Root); err != nil {
+		t.Errorf("compound unbind: %v", err)
+	}
+}
+
+func TestResolveThroughNonContext(t *testing.T) {
+	root := NewContext()
+	if err := root.Bind("leaf", 7, Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Resolve("leaf/below", Root); !errors.Is(err, ErrNotContext) {
+		t.Errorf("error = %v, want ErrNotContext", err)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	c := NewContext()
+	for _, name := range []string{"", "/", "//", "a//b"} {
+		if _, err := c.Resolve(name, Root); !errors.Is(err, ErrBadName) {
+			t.Errorf("Resolve(%q) error = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	c := NewContext()
+	for _, n := range []string{"c", "a", "b"} {
+		if err := c.Bind(n, n, Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.List(Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("List returned %d entries, want %d", len(got), len(want))
+	}
+	for i, b := range got {
+		if b.Name != want[i] {
+			t.Errorf("List[%d].Name = %q, want %q (sorted)", i, b.Name, want[i])
+		}
+	}
+}
+
+func TestACLEnforcement(t *testing.T) {
+	acl := NewACL(map[string]Rights{
+		"reader": RightResolve,
+		"writer": RightResolve | RightBind,
+		"admin":  RightsAll,
+	})
+	c := NewContextACL(acl)
+	reader := Credentials{Principal: "reader"}
+	writer := Credentials{Principal: "writer"}
+	admin := Credentials{Principal: "admin"}
+
+	if err := c.Bind("x", 1, reader); !errors.Is(err, ErrPermission) {
+		t.Errorf("reader bind error = %v, want ErrPermission", err)
+	}
+	if err := c.Bind("x", 1, writer); err != nil {
+		t.Errorf("writer bind error = %v", err)
+	}
+	if _, err := c.Resolve("x", Anonymous); !errors.Is(err, ErrPermission) {
+		t.Errorf("anonymous resolve error = %v, want ErrPermission", err)
+	}
+	if _, err := c.Resolve("x", reader); err != nil {
+		t.Errorf("reader resolve error = %v", err)
+	}
+	if _, err := c.Rebind("x", 2, writer); !errors.Is(err, ErrPermission) {
+		t.Errorf("writer rebind error = %v, want ErrPermission (admin required)", err)
+	}
+	if _, err := c.Rebind("x", 2, admin); err != nil {
+		t.Errorf("admin rebind error = %v", err)
+	}
+	// Root always passes.
+	if _, err := c.Resolve("x", Root); err != nil {
+		t.Errorf("root resolve error = %v", err)
+	}
+}
+
+func TestDomainNamespaceOverlay(t *testing.T) {
+	shared := NewContext()
+	if err := shared.Bind("common", "shared-obj", Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Bind("shadowed", "shared-version", Root); err != nil {
+		t.Fatal(err)
+	}
+
+	ns1 := NewDomainNamespace(shared)
+	ns2 := NewDomainNamespace(shared)
+	if err := ns1.Bind("private", "ns1-only", Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns1.Bind("shadowed", "ns1-version", Root); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both see the shared binding.
+	for i, ns := range []*DomainNamespace{ns1, ns2} {
+		if obj, err := ns.Resolve("common", Root); err != nil || obj != "shared-obj" {
+			t.Errorf("ns%d common = %v, %v", i+1, obj, err)
+		}
+	}
+	// Private binding visible only in ns1.
+	if obj, _ := ns1.Resolve("private", Root); obj != "ns1-only" {
+		t.Errorf("ns1 private = %v", obj)
+	}
+	if _, err := ns2.Resolve("private", Root); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ns2 private error = %v, want ErrNotFound", err)
+	}
+	// Shadowing.
+	if obj, _ := ns1.Resolve("shadowed", Root); obj != "ns1-version" {
+		t.Errorf("ns1 shadowed = %v, want ns1-version", obj)
+	}
+	if obj, _ := ns2.Resolve("shadowed", Root); obj != "shared-version" {
+		t.Errorf("ns2 shadowed = %v, want shared-version", obj)
+	}
+	// List merges with shadowing.
+	got, err := ns1.List(Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Object{}
+	for _, b := range got {
+		byName[b.Name] = b.Object
+	}
+	if byName["shadowed"] != "ns1-version" {
+		t.Errorf("List shadowed = %v, want ns1-version", byName["shadowed"])
+	}
+	if byName["common"] != "shared-obj" {
+		t.Errorf("List common = %v", byName["common"])
+	}
+}
+
+func TestDomainNamespaceCompound(t *testing.T) {
+	shared := NewContext()
+	sub := NewContext()
+	if err := shared.Bind("fs", sub, Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Bind("file", "payload", Root); err != nil {
+		t.Fatal(err)
+	}
+	ns := NewDomainNamespace(shared)
+	obj, err := ns.Resolve("fs/file", Root)
+	if err != nil {
+		t.Fatalf("compound resolve through shared: %v", err)
+	}
+	if obj != "payload" {
+		t.Errorf("resolve = %v", obj)
+	}
+	// Binding a compound name under a shared context works too.
+	if err := ns.Bind("fs/new", "x", Root); err != nil {
+		t.Fatalf("compound bind: %v", err)
+	}
+	if obj, _ := ns.Resolve("fs/new", Root); obj != "x" {
+		t.Errorf("resolve fs/new = %v", obj)
+	}
+}
+
+// TestPropertyBindResolveUnbind checks for arbitrary names that bind makes
+// resolve succeed and unbind makes it fail again.
+func TestPropertyBindResolveUnbind(t *testing.T) {
+	c := NewContext()
+	f := func(raw uint32) bool {
+		name := fmt.Sprintf("n%d", raw)
+		if err := c.Bind(name, raw, Root); err != nil && !errors.Is(err, ErrExists) {
+			return false
+		}
+		obj, err := c.Resolve(name, Root)
+		if err != nil {
+			return false
+		}
+		if _, ok := obj.(uint32); !ok {
+			return false
+		}
+		if err := c.Unbind(name, Root); err != nil {
+			return false
+		}
+		_, err = c.Resolve(name, Root)
+		return errors.Is(err, ErrNotFound)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

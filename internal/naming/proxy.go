@@ -1,0 +1,112 @@
+package naming
+
+import (
+	"springfs/internal/spring"
+)
+
+// ProxyWrappable is implemented by server objects that know how to produce
+// a client-side proxy of themselves for a given invocation channel. When a
+// resolution crosses domains, the naming proxies consult this interface so
+// that the object handed to the client is a stub routing invocations back
+// to the server — the analogue of the Spring nucleus marshalling object
+// references across domain boundaries. File objects and stackable file
+// systems implement it.
+type ProxyWrappable interface {
+	// WrapForChannel returns a proxy for the object whose invocations
+	// travel over ch.
+	WrapForChannel(ch *spring.Channel) Object
+}
+
+// WrapObject converts a server-side object reference into something safe
+// to hand to the client on the other end of ch: ProxyWrappable objects
+// produce their own proxies, bare contexts get a ContextProxy, and plain
+// values pass through.
+func WrapObject(ch *spring.Channel, obj Object) Object {
+	if obj == nil {
+		return obj
+	}
+	if pw, ok := obj.(ProxyWrappable); ok {
+		return pw.WrapForChannel(ch)
+	}
+	if ctx, ok := obj.(Context); ok {
+		return NewContextProxy(ch, ctx)
+	}
+	return obj
+}
+
+// ContextProxy is the client-side stub for a naming context served by
+// another domain. Every operation is routed through the invocation channel,
+// which charges the appropriate cost for the path (same-domain calls are
+// direct, cross-domain calls hand off, remote calls pay network latency).
+type ContextProxy struct {
+	ch   *spring.Channel
+	impl Context
+}
+
+var _ Context = (*ContextProxy)(nil)
+
+// NewContextProxy builds a proxy for impl reachable over ch. If the channel
+// is same-domain the implementation itself is returned — the stub layer
+// collapses to a procedure call, as in Spring.
+func NewContextProxy(ch *spring.Channel, impl Context) Context {
+	if ch.Path() == spring.PathSameDomain {
+		return impl
+	}
+	return &ContextProxy{ch: ch, impl: impl}
+}
+
+// Channel returns the proxy's invocation channel, primarily for tests and
+// the bench harness.
+func (p *ContextProxy) Channel() *spring.Channel { return p.ch }
+
+// Resolve implements Context.
+func (p *ContextProxy) Resolve(name string, cred Credentials) (Object, error) {
+	var (
+		obj Object
+		err error
+	)
+	p.ch.Call(func() { obj, err = p.impl.Resolve(name, cred) })
+	return WrapObject(p.ch, obj), err
+}
+
+// Bind implements Context.
+func (p *ContextProxy) Bind(name string, obj Object, cred Credentials) error {
+	var err error
+	p.ch.Call(func() { err = p.impl.Bind(name, obj, cred) })
+	return err
+}
+
+// Unbind implements Context.
+func (p *ContextProxy) Unbind(name string, cred Credentials) error {
+	var err error
+	p.ch.Call(func() { err = p.impl.Unbind(name, cred) })
+	return err
+}
+
+// List implements Context.
+func (p *ContextProxy) List(cred Credentials) ([]Binding, error) {
+	var (
+		out []Binding
+		err error
+	)
+	p.ch.Call(func() { out, err = p.impl.List(cred) })
+	for i := range out {
+		out[i].Object = WrapObject(p.ch, out[i].Object)
+	}
+	return out, err
+}
+
+// CreateContext implements Context.
+func (p *ContextProxy) CreateContext(name string, cred Credentials) (Context, error) {
+	var (
+		ctx Context
+		err error
+	)
+	p.ch.Call(func() { ctx, err = p.impl.CreateContext(name, cred) })
+	if ctx != nil {
+		if wrapped, ok := WrapObject(p.ch, ctx).(Context); ok {
+			ctx = wrapped
+		}
+	}
+	return ctx, err
+}

@@ -1,0 +1,306 @@
+// Package netsim provides the network substrate for the distributed file
+// system layer: an in-process message network with a configurable latency
+// and bandwidth model, exposed through the standard net.Conn / net.Listener
+// interfaces so the DFS protocol code runs unchanged over real TCP.
+//
+// The paper's DFS exports SFS files to other machines "through some
+// existing protocol (e.g., AFS)"; this reproduction speaks its own binary
+// protocol (package dfs) over connections from this package.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"springfs/internal/stats"
+)
+
+// Errors returned by the simulated network.
+var (
+	// ErrAddrInUse is returned when listening on a bound address.
+	ErrAddrInUse = errors.New("netsim: address already in use")
+	// ErrConnRefused is returned when dialing an address nobody listens
+	// on.
+	ErrConnRefused = errors.New("netsim: connection refused")
+	// ErrClosed is returned on I/O over a closed connection.
+	ErrClosed = errors.New("netsim: connection closed")
+	// ErrNetworkDown is returned while a partition is injected.
+	ErrNetworkDown = errors.New("netsim: network partitioned")
+)
+
+// Profile models link characteristics.
+type Profile struct {
+	// Latency is the one-way propagation delay per message.
+	Latency time.Duration
+	// BytesPerSecond throttles throughput; 0 means unlimited.
+	BytesPerSecond int64
+}
+
+// ProfileLAN approximates a early-90s departmental Ethernet: ~1 ms one-way
+// latency, ~1 MB/s.
+var ProfileLAN = Profile{Latency: time.Millisecond, BytesPerSecond: 1 << 20}
+
+// ProfileFast is a scaled-down LAN used by benchmarks (same shape, 100x
+// faster).
+var ProfileFast = Profile{Latency: 10 * time.Microsecond, BytesPerSecond: 100 << 20}
+
+// ProfileNone disables the latency model (unit tests).
+var ProfileNone = Profile{}
+
+// Network is a collection of listeners reachable by address.
+type Network struct {
+	profile Profile
+
+	mu        sync.Mutex
+	listeners map[string]*listener
+	down      bool
+
+	// Messages and Bytes count traffic through the network.
+	Messages stats.Counter
+	Bytes    stats.Counter
+}
+
+// New creates a network with the given link profile.
+func New(profile Profile) *Network {
+	return &Network{profile: profile, listeners: make(map[string]*listener)}
+}
+
+// Partition injects (or heals) a full network partition: all sends fail.
+func (n *Network) Partition(down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = down
+}
+
+func (n *Network) isDown() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// addr implements net.Addr.
+type addr string
+
+func (a addr) Network() string { return "netsim" }
+func (a addr) String() string  { return string(a) }
+
+// message is one in-flight datagram with its arrival time.
+type message struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// halfConn is one direction of a connection.
+type halfConn struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+	buf    []byte // partially consumed head message
+}
+
+func newHalf() *halfConn {
+	h := &halfConn{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *halfConn) push(data []byte, deliverAt time.Time) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	h.queue = append(h.queue, message{data: cp, deliverAt: deliverAt})
+	h.cond.Broadcast()
+	return nil
+}
+
+func (h *halfConn) pop(p []byte) (int, error) {
+	h.mu.Lock()
+	for {
+		if len(h.buf) > 0 {
+			n := copy(p, h.buf)
+			h.buf = h.buf[n:]
+			h.mu.Unlock()
+			return n, nil
+		}
+		if len(h.queue) > 0 {
+			m := h.queue[0]
+			now := time.Now()
+			if now.Before(m.deliverAt) {
+				// Model propagation delay: wait outside the lock.
+				h.mu.Unlock()
+				time.Sleep(m.deliverAt.Sub(now))
+				h.mu.Lock()
+				continue
+			}
+			h.queue = h.queue[1:]
+			h.buf = m.data
+			continue
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return 0, ErrClosed
+		}
+		h.cond.Wait()
+	}
+}
+
+func (h *halfConn) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+// Conn is a simulated network connection.
+type Conn struct {
+	net    *Network
+	read   *halfConn
+	write  *halfConn
+	local  addr
+	remote addr
+
+	wmu sync.Mutex // serialises Write's bandwidth accounting
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	return c.read.pop(p)
+}
+
+// Write implements net.Conn: the sender pays the transmission time (length
+// over bandwidth) and the receiver sees the data after the propagation
+// delay.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.net.isDown() {
+		return 0, ErrNetworkDown
+	}
+	c.wmu.Lock()
+	if bps := c.net.profile.BytesPerSecond; bps > 0 {
+		tx := time.Duration(int64(time.Second) * int64(len(p)) / bps)
+		if tx > 0 {
+			time.Sleep(tx)
+		}
+	}
+	c.wmu.Unlock()
+	deliverAt := time.Now().Add(c.net.profile.Latency)
+	if err := c.write.push(p, deliverAt); err != nil {
+		return 0, err
+	}
+	c.net.Messages.Inc()
+	c.net.Bytes.Add(int64(len(p)))
+	return len(p), nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.read.close()
+	c.write.close()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (deadlines are not modelled).
+func (c *Conn) SetDeadline(t time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// listener implements net.Listener.
+type listener struct {
+	net     *Network
+	address addr
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*Conn
+	closed  bool
+}
+
+var _ net.Listener = (*listener)(nil)
+
+// Listen binds a listener to address.
+func (n *Network) Listen(address string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[address]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, address)
+	}
+	l := &listener{net: n, address: addr(address)}
+	l.cond = sync.NewCond(&l.mu)
+	n.listeners[address] = l
+	return l, nil
+}
+
+// Dial connects to a listening address, returning the client side.
+func (n *Network) Dial(address string) (net.Conn, error) {
+	if n.isDown() {
+		return nil, ErrNetworkDown
+	}
+	n.mu.Lock()
+	l, ok := n.listeners[address]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, address)
+	}
+	aToB := newHalf()
+	bToA := newHalf()
+	clientAddr := addr(fmt.Sprintf("client-%p", aToB))
+	client := &Conn{net: n, read: bToA, write: aToB, local: clientAddr, remote: l.address}
+	server := &Conn{net: n, read: aToB, write: bToA, local: l.address, remote: clientAddr}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, address)
+	}
+	l.backlog = append(l.backlog, server)
+	l.cond.Broadcast()
+	return client, nil
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 {
+		if l.closed {
+			return nil, ErrClosed
+		}
+		l.cond.Wait()
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, nil
+}
+
+// Close implements net.Listener.
+func (l *listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.net.mu.Lock()
+	delete(l.net.listeners, string(l.address))
+	l.net.mu.Unlock()
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *listener) Addr() net.Addr { return l.address }

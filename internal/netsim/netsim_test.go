@@ -1,0 +1,290 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDialListenRoundTrip(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("server:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := c.Write(append([]byte("re:"), buf...)); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	c, err := n.Dial("server:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("re:hello")) {
+		t.Errorf("reply = %q", buf)
+	}
+	<-done
+}
+
+func TestDialUnknownRefused(t *testing.T) {
+	n := New(ProfileNone)
+	if _, err := n.Dial("nobody:1"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("error = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestListenTwiceFails(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Listen("a:1"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("error = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestCloseUnblocksReaders(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan io.ReadWriteCloser, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("read after close error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not unblock on close")
+	}
+	(<-accepted).Close()
+}
+
+func TestLatencyModel(t *testing.T) {
+	n := New(Profile{Latency: 20 * time.Millisecond})
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		c.Write(buf)
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 40*time.Millisecond {
+		t.Errorf("round trip %v, want >= 40ms (2x one-way latency)", rtt)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(true)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrNetworkDown) {
+		t.Errorf("write during partition error = %v", err)
+	}
+	if _, err := n.Dial("s:1"); !errors.Is(err, ErrNetworkDown) {
+		t.Errorf("dial during partition error = %v", err)
+	}
+	n.Partition(false)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Errorf("write after heal error = %v", err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Write(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Messages.Value(); got != 5 {
+		t.Errorf("messages = %d", got)
+	}
+	if got := n.Bytes.Value(); got != 500 {
+		t.Errorf("bytes = %d", got)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := n.Dial("s:1")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			msg := []byte{byte(i), byte(i + 1), byte(i + 2)}
+			for j := 0; j < 20; j++ {
+				if _, err := c.Write(msg); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				got := make([]byte, 3)
+				if _, err := io.ReadFull(c, got); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if !bytes.Equal(got, msg) {
+					t.Errorf("echo = %v, want %v", got, msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBandwidthThrottling(t *testing.T) {
+	// 64 KiB at 1 MiB/s must take >= ~60ms of transmission time.
+	n := New(Profile{BytesPerSecond: 1 << 20})
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Errorf("64KiB at 1MiB/s took %v, want >= ~60ms", elapsed)
+	}
+}

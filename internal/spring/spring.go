@@ -1,0 +1,358 @@
+// Package spring implements the object-invocation substrate of the Spring
+// operating system as the paper "Extensible File Systems in Spring"
+// (Khalidi & Nelson, SOSP 1993) relies on it.
+//
+// Spring is structured around objects whose interfaces are strongly-typed
+// contracts between a server domain (the implementor) and client domains.
+// The three properties of the substrate that the extensible file system
+// architecture depends on are reproduced here:
+//
+//   - A Domain is an address space with a collection of threads. In this
+//     reproduction a Domain owns a pool of server goroutines that execute
+//     incoming invocations, so a cross-domain call is a genuine hand-off to
+//     another scheduling context with a measurable cost, while a same-domain
+//     call compiles down to a direct function call.
+//
+//   - Object invocation is location independent. A Channel connects a client
+//     domain to a server domain; the stub layer (the per-interface proxy
+//     types in the other packages) invokes through the Channel, which picks
+//     the optimal path automatically: direct procedure call when client and
+//     server share a domain, a cross-domain hand-off when they share a node,
+//     and a latency-modelled message exchange when they live on different
+//     nodes. This mirrors the paper's "our object invocation stub technology
+//     automatically chooses the optimal path".
+//
+//   - Interface inheritance with narrowing. Narrow attempts to view an
+//     object under a more derived interface; it is how a layer discovers
+//     whether its peer is a file system (fs_pager/fs_cache) or a plain
+//     pager/cache manager (Section 4.3 of the paper).
+package spring
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"springfs/internal/stats"
+)
+
+// Errors returned by the substrate.
+var (
+	// ErrDomainStopped is returned when invoking on a stopped domain.
+	ErrDomainStopped = errors.New("spring: domain stopped")
+	// ErrRevoked is returned when invoking through a revoked handle.
+	ErrRevoked = errors.New("spring: handle revoked")
+)
+
+// Node models a single Spring machine: a nucleus plus a set of domains that
+// share physical memory. Inter-node communication pays the node's network
+// latency model.
+type Node struct {
+	name string
+
+	mu      sync.Mutex
+	domains []*Domain
+
+	// netDelay is the one-way latency charged for an invocation that
+	// crosses between this node and another. The effective latency of a
+	// remote call is the sum of both nodes' one-way delays, applied on the
+	// request and again on the reply.
+	netDelay time.Duration
+}
+
+// NewNode creates a node with the given name and no network latency.
+func NewNode(name string) *Node {
+	return &Node{name: name}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// SetNetworkDelay sets the simulated one-way network latency for
+// invocations that cross into or out of this node.
+func (n *Node) SetNetworkDelay(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.netDelay = d
+}
+
+// NetworkDelay reports the configured one-way latency.
+func (n *Node) NetworkDelay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.netDelay
+}
+
+// Stop stops every domain created on the node.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	domains := append([]*Domain(nil), n.domains...)
+	n.mu.Unlock()
+	for _, d := range domains {
+		d.Stop()
+	}
+}
+
+// invocation is one queued cross-domain call.
+type invocation struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Domain is a Spring address space with a collection of threads. A domain
+// may act as the server of some objects and the client of others.
+type Domain struct {
+	node *Node
+	name string
+	id   uint64
+
+	queue   chan *invocation
+	stopCh  chan struct{}
+	stopMu  sync.RWMutex // excludes Stop against in-flight enqueues
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// Invocations counts cross-domain calls served by this domain. Tests
+	// use it to verify which paths an operation exercised.
+	Invocations stats.Counter
+}
+
+var domainIDs atomic.Uint64
+
+// defaultServerThreads is the number of server threads a domain starts with;
+// Spring system servers are multi-threaded (Section 6.1).
+const defaultServerThreads = 4
+
+// NewDomain creates a domain on node and starts its server threads.
+func NewDomain(node *Node, name string) *Domain {
+	d := &Domain{
+		node:   node,
+		name:   name,
+		id:     domainIDs.Add(1),
+		queue:  make(chan *invocation, 64),
+		stopCh: make(chan struct{}),
+	}
+	d.wg.Add(defaultServerThreads)
+	for i := 0; i < defaultServerThreads; i++ {
+		go d.serve()
+	}
+	node.mu.Lock()
+	node.domains = append(node.domains, d)
+	node.mu.Unlock()
+	return d
+}
+
+func (d *Domain) serve() {
+	defer d.wg.Done()
+	for {
+		select {
+		case inv := <-d.queue:
+			inv.fn()
+			close(inv.done)
+		case <-d.stopCh:
+			// Drain invocations that made it into the queue before the
+			// stop so no caller is left waiting forever.
+			for {
+				select {
+				case inv := <-d.queue:
+					inv.fn()
+					close(inv.done)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Node returns the node the domain runs on.
+func (d *Domain) Node() *Node { return d.node }
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// ID returns the nucleus identifier of the domain.
+func (d *Domain) ID() uint64 { return d.id }
+
+// Stop shuts the domain's server threads down. Invocations submitted after
+// Stop fail with ErrDomainStopped; invocations already queued complete
+// (the server threads drain the queue before exiting).
+func (d *Domain) Stop() {
+	d.stopMu.Lock()
+	already := d.stopped.Swap(true)
+	d.stopMu.Unlock()
+	if already {
+		return
+	}
+	close(d.stopCh)
+	d.wg.Wait()
+}
+
+// invoke submits fn to the domain's server threads and waits for
+// completion. The read-lock excludes Stop while the invocation is being
+// enqueued, so everything enqueued is enqueued before the stop signal and
+// therefore executed by the drain.
+func (d *Domain) invoke(fn func()) error {
+	d.stopMu.RLock()
+	if d.stopped.Load() {
+		d.stopMu.RUnlock()
+		return ErrDomainStopped
+	}
+	inv := &invocation{fn: fn, done: make(chan struct{})}
+	d.queue <- inv
+	d.stopMu.RUnlock()
+	<-inv.done
+	d.Invocations.Inc()
+	return nil
+}
+
+// Path describes which transport a Channel uses.
+type Path int
+
+const (
+	// PathSameDomain means the invocation is a local procedure call.
+	PathSameDomain Path = iota
+	// PathCrossDomain means the invocation is a hand-off to another domain
+	// on the same node.
+	PathCrossDomain
+	// PathRemote means the invocation crosses nodes and pays network
+	// latency in both directions.
+	PathRemote
+)
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	switch p {
+	case PathSameDomain:
+		return "same-domain"
+	case PathCrossDomain:
+		return "cross-domain"
+	case PathRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Path(%d)", int(p))
+	}
+}
+
+// Channel is the invocation path from a client domain to a server domain.
+// It is the reproduction of the Spring stub transport: proxies hold a
+// Channel and route every operation through Call.
+type Channel struct {
+	client *Domain
+	server *Domain
+	path   Path
+
+	// Calls counts invocations made through this channel regardless of
+	// path. CrossCalls counts only those that left the client domain.
+	Calls      stats.Counter
+	CrossCalls stats.Counter
+}
+
+// Connect builds the invocation channel from client to server, choosing the
+// optimal path: a direct procedure call if the two are the same domain, a
+// cross-domain call if they share a node, and a remote call otherwise.
+func Connect(client, server *Domain) *Channel {
+	c := &Channel{client: client, server: server}
+	switch {
+	case client == server:
+		c.path = PathSameDomain
+	case client.node == server.node:
+		c.path = PathCrossDomain
+	default:
+		c.path = PathRemote
+	}
+	return c
+}
+
+// Path reports the transport path the channel uses.
+func (c *Channel) Path() Path { return c.path }
+
+// Client returns the client-side domain.
+func (c *Channel) Client() *Domain { return c.client }
+
+// Server returns the server-side domain.
+func (c *Channel) Server() *Domain { return c.server }
+
+// Call executes fn in the server domain. For a same-domain channel this is
+// a plain call; for a cross-domain channel it is a hand-off to one of the
+// server domain's threads; for a remote channel network latency is charged
+// on the request and on the reply.
+func (c *Channel) Call(fn func()) {
+	c.Calls.Inc()
+	switch c.path {
+	case PathSameDomain:
+		fn()
+	case PathCrossDomain:
+		c.CrossCalls.Inc()
+		if err := c.server.invoke(fn); err != nil {
+			// The server domain has stopped (node shutdown). Degrade to a
+			// direct call so teardown paths (connection releases, cache
+			// flushes) can still complete instead of crashing unrelated
+			// goroutines.
+			fn()
+		}
+	case PathRemote:
+		c.CrossCalls.Inc()
+		delay := c.client.node.NetworkDelay() + c.server.node.NetworkDelay()
+		if delay > 0 {
+			time.Sleep(delay) // request
+		}
+		if err := c.server.invoke(fn); err != nil {
+			fn()
+		}
+		if delay > 0 {
+			time.Sleep(delay) // reply
+		}
+	}
+}
+
+// Handle is an unforgeable nucleus handle identifying an object served by a
+// particular domain. Handles can be revoked, after which invocations fail;
+// this is the mechanism object interposition (Section 5) builds on: an
+// interposer substitutes its own object and the original handle keeps
+// working only for the interposer.
+type Handle struct {
+	id      uint64
+	server  *Domain
+	obj     any
+	revoked atomic.Bool
+}
+
+var handleIDs atomic.Uint64
+
+// Export creates a handle for obj served by domain d.
+func Export(d *Domain, obj any) *Handle {
+	return &Handle{id: handleIDs.Add(1), server: d, obj: obj}
+}
+
+// ID returns the nucleus identifier of the handle.
+func (h *Handle) ID() uint64 { return h.id }
+
+// Server returns the serving domain.
+func (h *Handle) Server() *Domain { return h.server }
+
+// Object returns the underlying object, or ErrRevoked after revocation.
+func (h *Handle) Object() (any, error) {
+	if h.revoked.Load() {
+		return nil, ErrRevoked
+	}
+	return h.obj, nil
+}
+
+// Revoke invalidates the handle.
+func (h *Handle) Revoke() { h.revoked.Store(true) }
+
+// Narrow attempts to view obj under the more derived interface T. It is the
+// analogue of the Spring narrow operation: a layer narrows the cache or
+// pager object it received to fs_cache/fs_pager to discover whether it is
+// talking to a file system (Section 4.3).
+//
+// Proxy types in the other packages are constructed per concrete subtype, so
+// narrowing works transparently across domains: narrowing a proxy to
+// fs_pager succeeds exactly when the remote server implements fs_pager.
+func Narrow[T any](obj any) (T, bool) {
+	t, ok := obj.(T)
+	return t, ok
+}

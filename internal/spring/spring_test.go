@@ -1,0 +1,247 @@
+package spring
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConnectChoosesPath(t *testing.T) {
+	n1 := NewNode("n1")
+	n2 := NewNode("n2")
+	defer n1.Stop()
+	defer n2.Stop()
+	d1 := NewDomain(n1, "d1")
+	d2 := NewDomain(n1, "d2")
+	d3 := NewDomain(n2, "d3")
+
+	tests := []struct {
+		name   string
+		client *Domain
+		server *Domain
+		want   Path
+	}{
+		{"same domain", d1, d1, PathSameDomain},
+		{"cross domain", d1, d2, PathCrossDomain},
+		{"remote", d1, d3, PathRemote},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Connect(tt.client, tt.server).Path(); got != tt.want {
+				t.Errorf("Connect(%s, %s).Path() = %v, want %v", tt.client.Name(), tt.server.Name(), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSameDomainCallIsDirect(t *testing.T) {
+	n := NewNode("n")
+	defer n.Stop()
+	d := NewDomain(n, "d")
+	ch := Connect(d, d)
+	ran := false
+	ch.Call(func() { ran = true })
+	if !ran {
+		t.Fatal("Call did not run fn")
+	}
+	if got := d.Invocations.Value(); got != 0 {
+		t.Errorf("same-domain call went through the server queue: %d invocations", got)
+	}
+	if got := ch.CrossCalls.Value(); got != 0 {
+		t.Errorf("CrossCalls = %d, want 0", got)
+	}
+	if got := ch.Calls.Value(); got != 1 {
+		t.Errorf("Calls = %d, want 1", got)
+	}
+}
+
+func TestCrossDomainCallRunsInServer(t *testing.T) {
+	n := NewNode("n")
+	defer n.Stop()
+	client := NewDomain(n, "client")
+	server := NewDomain(n, "server")
+	ch := Connect(client, server)
+	ran := false
+	ch.Call(func() { ran = true })
+	if !ran {
+		t.Fatal("Call did not run fn")
+	}
+	if got := server.Invocations.Value(); got != 1 {
+		t.Errorf("server invocations = %d, want 1", got)
+	}
+	if got := ch.CrossCalls.Value(); got != 1 {
+		t.Errorf("CrossCalls = %d, want 1", got)
+	}
+}
+
+func TestRemoteCallPaysNetworkLatency(t *testing.T) {
+	n1 := NewNode("n1")
+	n2 := NewNode("n2")
+	defer n1.Stop()
+	defer n2.Stop()
+	n2.SetNetworkDelay(2 * time.Millisecond)
+	client := NewDomain(n1, "client")
+	server := NewDomain(n2, "server")
+	ch := Connect(client, server)
+	start := time.Now()
+	ch.Call(func() {})
+	// Request and reply each pay 2ms one-way latency.
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("remote call took %v, want >= 4ms", elapsed)
+	}
+}
+
+func TestConcurrentCrossDomainCalls(t *testing.T) {
+	n := NewNode("n")
+	defer n.Stop()
+	client := NewDomain(n, "client")
+	server := NewDomain(n, "server")
+	ch := Connect(client, server)
+	const workers = 16
+	const callsPer = 100
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < callsPer; j++ {
+				ch.Call(func() {
+					mu.Lock()
+					count++
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if count != workers*callsPer {
+		t.Errorf("count = %d, want %d", count, workers*callsPer)
+	}
+	if got := server.Invocations.Value(); got != workers*callsPer {
+		t.Errorf("server invocations = %d, want %d", got, workers*callsPer)
+	}
+}
+
+func TestHandleRevocation(t *testing.T) {
+	n := NewNode("n")
+	defer n.Stop()
+	d := NewDomain(n, "d")
+	h := Export(d, "payload")
+	obj, err := h.Object()
+	if err != nil {
+		t.Fatalf("Object() error = %v", err)
+	}
+	if obj != "payload" {
+		t.Errorf("Object() = %v, want payload", obj)
+	}
+	h.Revoke()
+	if _, err := h.Object(); err != ErrRevoked {
+		t.Errorf("Object() after revoke error = %v, want ErrRevoked", err)
+	}
+}
+
+func TestHandleIDsUnique(t *testing.T) {
+	n := NewNode("n")
+	defer n.Stop()
+	d := NewDomain(n, "d")
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		h := Export(d, i)
+		if seen[h.ID()] {
+			t.Fatalf("duplicate handle id %d", h.ID())
+		}
+		seen[h.ID()] = true
+	}
+}
+
+type wide interface{ A() }
+type narrowIface interface {
+	A()
+	B()
+}
+
+type narrowImpl struct{}
+
+func (narrowImpl) A() {}
+func (narrowImpl) B() {}
+
+type wideImpl struct{}
+
+func (wideImpl) A() {}
+
+func TestNarrow(t *testing.T) {
+	var w wide = narrowImpl{}
+	if _, ok := Narrow[narrowIface](w); !ok {
+		t.Error("Narrow failed on object implementing the derived interface")
+	}
+	w = wideImpl{}
+	if _, ok := Narrow[narrowIface](w); ok {
+		t.Error("Narrow succeeded on object not implementing the derived interface")
+	}
+}
+
+func TestDomainStop(t *testing.T) {
+	n := NewNode("n")
+	d := NewDomain(n, "d")
+	ch := Connect(NewDomain(n, "client"), d)
+	ch.Call(func() {}) // works before stop
+	d.Stop()
+	if err := d.invoke(func() {}); err != ErrDomainStopped {
+		t.Errorf("invoke after stop error = %v, want ErrDomainStopped", err)
+	}
+	n.Stop() // idempotent: d already stopped
+}
+
+func TestNestedInvocationDoesNotDeadlock(t *testing.T) {
+	// A server domain handling a call must be able to call back into the
+	// same domain through another thread (pagers call cache managers that
+	// call pagers). With a multi-threaded domain this must not deadlock.
+	n := NewNode("n")
+	defer n.Stop()
+	client := NewDomain(n, "client")
+	server := NewDomain(n, "server")
+	chIn := Connect(client, server)
+	chBack := Connect(server, server) // same-domain: direct, no deadlock
+	chAgain := Connect(client, server)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		chIn.Call(func() {
+			chBack.Call(func() {})
+			// Re-entering the server domain queue from inside a server
+			// thread must also complete while other threads are free.
+			chAgain.Call(func() {})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("nested invocation deadlocked")
+	}
+}
+
+func BenchmarkSameDomainCall(b *testing.B) {
+	n := NewNode("n")
+	defer n.Stop()
+	d := NewDomain(n, "d")
+	ch := Connect(d, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Call(func() {})
+	}
+}
+
+func BenchmarkCrossDomainCall(b *testing.B) {
+	n := NewNode("n")
+	defer n.Stop()
+	client := NewDomain(n, "client")
+	server := NewDomain(n, "server")
+	ch := Connect(client, server)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Call(func() {})
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats provides lightweight counters and timers used across the
+// springfs substrates. The bench harness and the tests use these counters to
+// verify structural claims from the paper (for example, that a cached read
+// performs no calls to the lower file system layer, the third result of
+// Table 2).
+//
+// All counters are safe for concurrent use.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// Timer accumulates durations and the number of recorded events.
+type Timer struct {
+	total atomic.Int64 // nanoseconds
+	count atomic.Int64
+}
+
+// Record adds one observation of duration d.
+func (t *Timer) Record(d time.Duration) {
+	t.total.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Observe runs fn and records its wall-clock duration.
+func (t *Timer) Observe(fn func()) {
+	start := time.Now()
+	fn()
+	t.Record(time.Since(start))
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.total.Load()) }
+
+// Count returns the number of recorded observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Mean returns the mean observation duration, or zero if none were recorded.
+func (t *Timer) Mean() time.Duration {
+	n := t.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.total.Load() / n)
+}
+
+// Reset clears the timer.
+func (t *Timer) Reset() {
+	t.total.Store(0)
+	t.count.Store(0)
+}
+
+// Registry is a named collection of counters and timers. The zero value is
+// ready to use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the timer registered under name, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timers == nil {
+		r.timers = make(map[string]*Timer)
+	}
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// ResetAll resets every counter and timer in the registry.
+func (r *Registry) ResetAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, t := range r.timers {
+		t.Reset()
+	}
+}
+
+// Snapshot returns the current value of every counter, keyed by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// String renders the registry contents sorted by name, one entry per line.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", name, r.counters[name].Value())
+	}
+	var tnames []string
+	for name := range r.timers {
+		tnames = append(tnames, name)
+	}
+	sort.Strings(tnames)
+	for _, name := range tnames {
+		t := r.timers[name]
+		fmt.Fprintf(&b, "%-40s mean=%v n=%d\n", name, t.Mean(), t.Count())
+	}
+	return b.String()
+}
+
+// Default is the process-wide registry used when no explicit registry is
+// wired through.
+var Default Registry

@@ -1,0 +1,279 @@
+package unixfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"springfs/internal/blockdev"
+)
+
+func newFS(t *testing.T, blocks int64) (*FS, *blockdev.MemDevice) {
+	t.Helper()
+	dev := blockdev.NewMem(blocks, blockdev.ProfileNone)
+	if err := Mkfs(dev); err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	fs, err := Mount(dev)
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	return fs, dev
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs, _ := newFS(t, 512)
+	f, err := fs.Create("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("monolithic baseline")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read = %q", got)
+	}
+	attrs, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs.Length != int64(len(msg)) || attrs.IsDir {
+		t.Errorf("attrs = %+v", attrs)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	fs, dev := newFS(t, 512)
+	f, err := fs.Create("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("survives remount")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs2.Open("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("after remount = %q", got)
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	fs, _ := newFS(t, 512)
+	if err := fs.Mkdir("sub"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("sub/file"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "file" {
+		t.Errorf("ReadDir = %v", names)
+	}
+	if err := fs.Unlink("sub"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("unlink non-empty dir error = %v", err)
+	}
+	if err := fs.Unlink("sub/file"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("sub"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("sub/file"); err == nil {
+		t.Error("open of removed file succeeded")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs, _ := newFS(t, 512)
+	if _, err := fs.Open("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("open missing error = %v", err)
+	}
+	if _, err := fs.Create("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("x"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create error = %v", err)
+	}
+	if err := fs.Mkdir("x/y"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("mkdir under file error = %v", err)
+	}
+	if _, err := fs.Open("x/y"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("open through file error = %v", err)
+	}
+	dev := blockdev.NewMem(64, blockdev.ProfileNone)
+	if _, err := Mount(dev); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("mount unformatted error = %v", err)
+	}
+}
+
+func TestEOFSemantics(t *testing.T) {
+	fs, _ := newFS(t, 512)
+	f, err := fs.Create("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("12345"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.ReadAt(make([]byte, 3), 5); n != 0 || err != io.EOF {
+		t.Errorf("read at EOF = %d, %v", n, err)
+	}
+	buf := make([]byte, 10)
+	if n, err := f.ReadAt(buf, 2); n != 3 || err != io.EOF {
+		t.Errorf("read crossing EOF = %d, %v", n, err)
+	}
+}
+
+func TestIndirectBlocks(t *testing.T) {
+	fs, _ := newFS(t, 2048)
+	f, err := fs.Create("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(numDirect+3)*BlockSize + 17
+	if _, err := f.WriteAt([]byte("indirect"), off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := f.ReadAt(got, off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "indirect" {
+		t.Errorf("read = %q", got)
+	}
+}
+
+func TestBufferCacheAvoidsDeviceIO(t *testing.T) {
+	fs, dev := newFS(t, 512)
+	f, err := fs.Create("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, BlockSize)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	reads, writes := dev.IOCount()
+	for i := 0; i < 100; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Stat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2, w2 := dev.IOCount()
+	if r2 != reads || w2 != writes {
+		t.Errorf("hot ops did device I/O: reads %d->%d writes %d->%d", reads, r2, writes, w2)
+	}
+}
+
+func TestBufferCacheEviction(t *testing.T) {
+	fs, _ := newFS(t, 512)
+	fs.SetBufferCacheBlocks(4)
+	f, err := fs.Create("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, BlockSize)
+	for i := int64(0); i < 10; i++ {
+		payload[0] = byte(i)
+		if _, err := f.WriteAt(payload, i*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything still readable after evictions wrote blocks back.
+	buf := make([]byte, 1)
+	for i := int64(0); i < 10; i++ {
+		if _, err := f.ReadAt(buf, i*BlockSize); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Errorf("block %d = %d", i, buf[0])
+		}
+	}
+}
+
+func TestUnlinkReclaimsSpace(t *testing.T) {
+	fs, _ := newFS(t, 256)
+	free := fs.sb.freeBlocks
+	f, err := fs.Create("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 20*BlockSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.sb.freeBlocks < free-1 {
+		t.Errorf("free blocks %d -> %d after unlink", free, fs.sb.freeBlocks)
+	}
+}
+
+func TestPropertyIOMatchesModel(t *testing.T) {
+	fs, _ := newFS(t, 1024)
+	f, err := fs.Create("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const space = 20 * BlockSize
+	model := make([]byte, space)
+	var length int64
+	prop := func(offRaw uint32, lenRaw uint16, seed byte) bool {
+		off := int64(offRaw) % (space - 4096)
+		n := int64(lenRaw)%4096 + 1
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = seed ^ byte(i*3)
+		}
+		if _, err := f.WriteAt(data, off); err != nil {
+			return false
+		}
+		copy(model[off:], data)
+		if off+n > length {
+			length = off + n
+		}
+		got := make([]byte, n)
+		if _, err := f.ReadAt(got, off); err != nil && err != io.EOF {
+			return false
+		}
+		return bytes.Equal(got, model[off:off+n])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"springfs/internal/spring"
+)
+
+// PagerProxy is the client-side stub for a pager object served by another
+// domain. Proxies collapse to the implementation for same-domain channels,
+// so the invocation cost is a procedure call exactly when the paper says it
+// should be.
+type PagerProxy struct {
+	ch   *spring.Channel
+	impl PagerObject
+}
+
+var _ PagerObject = (*PagerProxy)(nil)
+
+// NewPagerProxy wraps impl for invocation over ch. If impl also implements
+// HintedPager the returned proxy does too, so narrowing works across
+// domains. (File-system subtypes are preserved by the fsys package's
+// wrapper, which builds on this one.)
+func NewPagerProxy(ch *spring.Channel, impl PagerObject) PagerObject {
+	if ch.Path() == spring.PathSameDomain {
+		return impl
+	}
+	p := &PagerProxy{ch: ch, impl: impl}
+	if hp, ok := impl.(HintedPager); ok {
+		return &hintedPagerProxy{PagerProxy: p, hinted: hp}
+	}
+	return p
+}
+
+// Channel returns the proxy's invocation channel.
+func (p *PagerProxy) Channel() *spring.Channel { return p.ch }
+
+// PageIn implements PagerObject.
+func (p *PagerProxy) PageIn(offset, size Offset, access Rights) ([]byte, error) {
+	var (
+		data []byte
+		err  error
+	)
+	p.ch.Call(func() { data, err = p.impl.PageIn(offset, size, access) })
+	return data, err
+}
+
+// PageOut implements PagerObject.
+func (p *PagerProxy) PageOut(offset, size Offset, data []byte) error {
+	var err error
+	p.ch.Call(func() { err = p.impl.PageOut(offset, size, data) })
+	return err
+}
+
+// WriteOut implements PagerObject.
+func (p *PagerProxy) WriteOut(offset, size Offset, data []byte) error {
+	var err error
+	p.ch.Call(func() { err = p.impl.WriteOut(offset, size, data) })
+	return err
+}
+
+// Sync implements PagerObject.
+func (p *PagerProxy) Sync(offset, size Offset, data []byte) error {
+	var err error
+	p.ch.Call(func() { err = p.impl.Sync(offset, size, data) })
+	return err
+}
+
+// DoneWithPagerObject implements PagerObject.
+func (p *PagerProxy) DoneWithPagerObject() {
+	p.ch.Call(func() { p.impl.DoneWithPagerObject() })
+}
+
+// hintedPagerProxy adds the HintedPager operation when the implementation
+// supports it.
+type hintedPagerProxy struct {
+	*PagerProxy
+	hinted HintedPager
+}
+
+var _ HintedPager = (*hintedPagerProxy)(nil)
+
+// PageInHint implements HintedPager.
+func (p *hintedPagerProxy) PageInHint(offset, minSize, maxSize Offset, access Rights) ([]byte, error) {
+	var (
+		data []byte
+		err  error
+	)
+	p.ch.Call(func() { data, err = p.hinted.PageInHint(offset, minSize, maxSize, access) })
+	return data, err
+}
+
+// CacheProxy is the client-side stub for a cache object served by another
+// domain.
+type CacheProxy struct {
+	ch   *spring.Channel
+	impl CacheObject
+}
+
+var _ CacheObject = (*CacheProxy)(nil)
+
+// NewCacheProxy wraps impl for invocation over ch, collapsing for
+// same-domain channels.
+func NewCacheProxy(ch *spring.Channel, impl CacheObject) CacheObject {
+	if ch.Path() == spring.PathSameDomain {
+		return impl
+	}
+	return &CacheProxy{ch: ch, impl: impl}
+}
+
+// Channel returns the proxy's invocation channel.
+func (p *CacheProxy) Channel() *spring.Channel { return p.ch }
+
+// FlushBack implements CacheObject.
+func (p *CacheProxy) FlushBack(offset, size Offset) []Data {
+	var out []Data
+	p.ch.Call(func() { out = p.impl.FlushBack(offset, size) })
+	return out
+}
+
+// DenyWrites implements CacheObject.
+func (p *CacheProxy) DenyWrites(offset, size Offset) []Data {
+	var out []Data
+	p.ch.Call(func() { out = p.impl.DenyWrites(offset, size) })
+	return out
+}
+
+// WriteBack implements CacheObject.
+func (p *CacheProxy) WriteBack(offset, size Offset) []Data {
+	var out []Data
+	p.ch.Call(func() { out = p.impl.WriteBack(offset, size) })
+	return out
+}
+
+// DeleteRange implements CacheObject.
+func (p *CacheProxy) DeleteRange(offset, size Offset) {
+	p.ch.Call(func() { p.impl.DeleteRange(offset, size) })
+}
+
+// ZeroFill implements CacheObject.
+func (p *CacheProxy) ZeroFill(offset, size Offset) {
+	p.ch.Call(func() { p.impl.ZeroFill(offset, size) })
+}
+
+// Populate implements CacheObject.
+func (p *CacheProxy) Populate(offset, size Offset, access Rights, data []byte) {
+	p.ch.Call(func() { p.impl.Populate(offset, size, access, data) })
+}
+
+// DestroyCache implements CacheObject.
+func (p *CacheProxy) DestroyCache() {
+	p.ch.Call(func() { p.impl.DestroyCache() })
+}

@@ -1,0 +1,199 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"springfs/internal/spring"
+)
+
+// recordingPager records the operations invoked on it.
+type recordingPager struct {
+	ops  []string
+	data []byte
+	err  error
+}
+
+func (p *recordingPager) PageIn(offset, size Offset, access Rights) ([]byte, error) {
+	p.ops = append(p.ops, "page_in")
+	if p.err != nil {
+		return nil, p.err
+	}
+	out := make([]byte, size)
+	copy(out, p.data)
+	return out, nil
+}
+func (p *recordingPager) PageOut(offset, size Offset, data []byte) error {
+	p.ops = append(p.ops, "page_out")
+	p.data = append([]byte(nil), data...)
+	return p.err
+}
+func (p *recordingPager) WriteOut(offset, size Offset, data []byte) error {
+	p.ops = append(p.ops, "write_out")
+	return p.err
+}
+func (p *recordingPager) Sync(offset, size Offset, data []byte) error {
+	p.ops = append(p.ops, "sync")
+	return p.err
+}
+func (p *recordingPager) DoneWithPagerObject() {
+	p.ops = append(p.ops, "done")
+}
+
+// recordingHintedPager adds the hint operation.
+type recordingHintedPager struct {
+	recordingPager
+}
+
+func (p *recordingHintedPager) PageInHint(offset, minSize, maxSize Offset, access Rights) ([]byte, error) {
+	p.ops = append(p.ops, "page_in_hint")
+	return make([]byte, maxSize), nil
+}
+
+// recordingCache records cache-object operations.
+type recordingCache struct {
+	ops []string
+}
+
+func (c *recordingCache) FlushBack(offset, size Offset) []Data {
+	c.ops = append(c.ops, "flush_back")
+	return []Data{{Offset: offset, Bytes: make([]byte, size)}}
+}
+func (c *recordingCache) DenyWrites(offset, size Offset) []Data {
+	c.ops = append(c.ops, "deny_writes")
+	return nil
+}
+func (c *recordingCache) WriteBack(offset, size Offset) []Data {
+	c.ops = append(c.ops, "write_back")
+	return nil
+}
+func (c *recordingCache) DeleteRange(offset, size Offset) { c.ops = append(c.ops, "delete_range") }
+func (c *recordingCache) ZeroFill(offset, size Offset)    { c.ops = append(c.ops, "zero_fill") }
+func (c *recordingCache) Populate(offset, size Offset, access Rights, data []byte) {
+	c.ops = append(c.ops, "populate")
+}
+func (c *recordingCache) DestroyCache() { c.ops = append(c.ops, "destroy") }
+
+func proxyDomains(t *testing.T) (*spring.Channel, *spring.Domain) {
+	t.Helper()
+	node := spring.NewNode("n")
+	t.Cleanup(node.Stop)
+	client := spring.NewDomain(node, "client")
+	server := spring.NewDomain(node, "server")
+	return spring.Connect(client, server), server
+}
+
+func TestPagerProxyForwardsEverything(t *testing.T) {
+	ch, server := proxyDomains(t)
+	impl := &recordingPager{data: []byte("payload")}
+	proxy := NewPagerProxy(ch, impl)
+	if proxy == PagerObject(impl) {
+		t.Fatal("cross-domain proxy collapsed")
+	}
+	data, err := proxy.PageIn(0, PageSize, RightsRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("payload")) {
+		t.Errorf("PageIn data = %q", data[:7])
+	}
+	if err := proxy.PageOut(0, PageSize, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.WriteOut(0, PageSize, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Sync(0, PageSize, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	proxy.DoneWithPagerObject()
+	want := []string{"page_in", "page_out", "write_out", "sync", "done"}
+	if len(impl.ops) != len(want) {
+		t.Fatalf("ops = %v", impl.ops)
+	}
+	for i := range want {
+		if impl.ops[i] != want[i] {
+			t.Errorf("op %d = %s, want %s", i, impl.ops[i], want[i])
+		}
+	}
+	if server.Invocations.Value() != 5 {
+		t.Errorf("invocations = %d, want 5", server.Invocations.Value())
+	}
+	// Errors propagate.
+	impl.err = errors.New("pager broke")
+	if _, err := proxy.PageIn(0, PageSize, RightsRead); err == nil {
+		t.Error("error did not propagate")
+	}
+}
+
+func TestPagerProxyPreservesHintedSubtype(t *testing.T) {
+	ch, _ := proxyDomains(t)
+	impl := &recordingHintedPager{}
+	proxy := NewPagerProxy(ch, impl)
+	hp, ok := spring.Narrow[HintedPager](proxy)
+	if !ok {
+		t.Fatal("hinted pager proxy does not narrow to HintedPager")
+	}
+	data, err := hp.PageInHint(0, PageSize, 4*PageSize, RightsRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4*PageSize {
+		t.Errorf("hint returned %d bytes", len(data))
+	}
+	if impl.ops[len(impl.ops)-1] != "page_in_hint" {
+		t.Errorf("ops = %v", impl.ops)
+	}
+	// A plain pager's proxy must NOT narrow.
+	plainProxy := NewPagerProxy(ch, &recordingPager{})
+	if _, ok := spring.Narrow[HintedPager](plainProxy); ok {
+		t.Error("plain pager proxy narrows to HintedPager")
+	}
+}
+
+func TestCacheProxyForwardsEverything(t *testing.T) {
+	ch, server := proxyDomains(t)
+	impl := &recordingCache{}
+	proxy := NewCacheProxy(ch, impl)
+	if proxy == CacheObject(impl) {
+		t.Fatal("cross-domain proxy collapsed")
+	}
+	out := proxy.FlushBack(0, PageSize)
+	if len(out) != 1 || out[0].Offset != 0 {
+		t.Errorf("FlushBack = %v", out)
+	}
+	proxy.DenyWrites(0, PageSize)
+	proxy.WriteBack(0, PageSize)
+	proxy.DeleteRange(0, PageSize)
+	proxy.ZeroFill(0, PageSize)
+	proxy.Populate(0, PageSize, RightsRead, make([]byte, PageSize))
+	proxy.DestroyCache()
+	want := []string{"flush_back", "deny_writes", "write_back", "delete_range", "zero_fill", "populate", "destroy"}
+	if len(impl.ops) != len(want) {
+		t.Fatalf("ops = %v", impl.ops)
+	}
+	for i := range want {
+		if impl.ops[i] != want[i] {
+			t.Errorf("op %d = %s, want %s", i, impl.ops[i], want[i])
+		}
+	}
+	if server.Invocations.Value() != int64(len(want)) {
+		t.Errorf("invocations = %d, want %d", server.Invocations.Value(), len(want))
+	}
+}
+
+func TestProxiesCollapseSameDomain(t *testing.T) {
+	node := spring.NewNode("n")
+	defer node.Stop()
+	d := spring.NewDomain(node, "d")
+	ch := spring.Connect(d, d)
+	pager := &recordingPager{}
+	if NewPagerProxy(ch, pager) != PagerObject(pager) {
+		t.Error("same-domain pager proxy did not collapse")
+	}
+	cache := &recordingCache{}
+	if NewCacheProxy(ch, cache) != CacheObject(cache) {
+		t.Error("same-domain cache proxy did not collapse")
+	}
+}

@@ -1,0 +1,781 @@
+package vm
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"springfs/internal/spring"
+	"springfs/internal/stats"
+)
+
+// VMM is the per-node virtual memory manager. It is responsible for
+// mapping, sharing, and caching of local memory, and depends on external
+// pagers for backing store and inter-machine coherency. The VMM is a cache
+// manager: it implements cache objects that pagers invoke for coherency
+// actions.
+type VMM struct {
+	name   string
+	domain *spring.Domain
+
+	mu     sync.Mutex
+	caches map[uint64]*FileCache
+	nextID atomic.Uint64
+
+	// Page accounting for eviction. maxPages == 0 means unlimited.
+	maxPages  int
+	pageCount int
+	lru       *list.List // front = most recent; values are lruEntry
+	lruIndex  map[lruKey]*list.Element
+
+	// Counters observable by tests and the bench harness.
+	PageIns   stats.Counter
+	PageOuts  stats.Counter
+	Evictions stats.Counter
+}
+
+type lruKey struct {
+	fc *FileCache
+	pn int64
+}
+
+// New creates a VMM served by domain.
+func New(domain *spring.Domain, name string) *VMM {
+	return &VMM{
+		name:     name,
+		domain:   domain,
+		caches:   make(map[uint64]*FileCache),
+		lru:      list.New(),
+		lruIndex: make(map[lruKey]*list.Element),
+	}
+}
+
+// SetMaxPages bounds the number of resident pages; 0 disables eviction.
+func (v *VMM) SetMaxPages(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.maxPages = n
+}
+
+// ResidentPages returns the number of pages currently cached by the VMM.
+func (v *VMM) ResidentPages() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.pageCount
+}
+
+// ManagerName implements CacheManager.
+func (v *VMM) ManagerName() string { return v.name }
+
+// ManagerDomain implements CacheManager.
+func (v *VMM) ManagerDomain() *spring.Domain { return v.domain }
+
+// NewConnection implements CacheManager: it sets up the VMM half of a
+// pager-cache connection and returns the VMM's cache object plus a fresh
+// cache-rights token identifying the connection.
+func (v *VMM) NewConnection(pager PagerObject) (CacheObject, CacheRights) {
+	fc := &FileCache{
+		vmm:   v,
+		pager: pager,
+		id:    v.nextID.Add(1),
+		pages: make(map[int64]*page),
+	}
+	fc.cond = sync.NewCond(&fc.mu)
+	v.mu.Lock()
+	v.caches[fc.id] = fc
+	v.mu.Unlock()
+	return (*vmmCacheObject)(fc), &rightsToken{id: fc.id, manager: v.name}
+}
+
+// Map maps a memory object with the given access. The VMM invokes the bind
+// operation on the memory object; the pager either reuses an existing
+// pager-cache connection (two equivalent memory objects share cached
+// pages) or performs the object exchange through NewConnection.
+func (v *VMM) Map(mobj MemoryObject, access Rights) (*Mapping, error) {
+	rights, err := mobj.Bind(v, access, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("vm: bind failed: %w", err)
+	}
+	v.mu.Lock()
+	fc, ok := v.caches[rights.RightsID()]
+	v.mu.Unlock()
+	if !ok || rights.ManagerName() != v.name {
+		return nil, fmt.Errorf("%w: id=%d manager=%q", ErrBadRights, rights.RightsID(), rights.ManagerName())
+	}
+	return &Mapping{fc: fc, access: access, mobj: mobj}, nil
+}
+
+// CacheFor returns the file cache behind a cache-rights token issued by
+// this VMM. Tests use it to inspect cache state.
+func (v *VMM) CacheFor(rights CacheRights) (*FileCache, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	fc, ok := v.caches[rights.RightsID()]
+	return fc, ok
+}
+
+// touch moves (fc, pn) to the front of the LRU. Called with fc.mu held;
+// vmm.mu is strictly inner to any FileCache mutex.
+func (v *VMM) touch(fc *FileCache, pn int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	k := lruKey{fc, pn}
+	if el, ok := v.lruIndex[k]; ok {
+		v.lru.MoveToFront(el)
+		return
+	}
+	v.lruIndex[k] = v.lru.PushFront(k)
+	v.pageCount++
+}
+
+// forget removes (fc, pn) from the LRU. Called with fc.mu held.
+func (v *VMM) forget(fc *FileCache, pn int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	k := lruKey{fc, pn}
+	if el, ok := v.lruIndex[k]; ok {
+		v.lru.Remove(el)
+		delete(v.lruIndex, k)
+		v.pageCount--
+	}
+}
+
+// maybeEvict evicts least-recently-used pages until the resident count is
+// within budget. It must be called with no FileCache mutex held.
+func (v *VMM) maybeEvict() {
+	for {
+		v.mu.Lock()
+		if v.maxPages == 0 || v.pageCount <= v.maxPages {
+			v.mu.Unlock()
+			return
+		}
+		el := v.lru.Back()
+		if el == nil {
+			v.mu.Unlock()
+			return
+		}
+		k := el.Value.(lruKey)
+		v.mu.Unlock()
+		if !k.fc.evict(k.pn) {
+			// The page was busy (faulting) or already gone; move it to
+			// the front so we do not spin on it and try the next victim.
+			v.mu.Lock()
+			if el2, ok := v.lruIndex[k]; ok {
+				v.lru.MoveToFront(el2)
+			}
+			v.mu.Unlock()
+		}
+	}
+}
+
+// rightsToken is the VMM's CacheRights implementation.
+type rightsToken struct {
+	id      uint64
+	manager string
+}
+
+func (r *rightsToken) RightsID() uint64    { return r.id }
+func (r *rightsToken) ManagerName() string { return r.manager }
+
+// pageState tracks the fault protocol of one cached page.
+type pageState int
+
+const (
+	pagePresent pageState = iota
+	pageFaulting
+)
+
+type page struct {
+	state  pageState
+	data   []byte // PageSize bytes when present
+	rights Rights
+	dirty  bool
+	// epoch counts revocations that hit this page while it was faulting.
+	// A coherency action overlapping an in-flight fault cannot wait for
+	// the fault (the fault may be blocked inside the very pager issuing
+	// the action — waiting would deadlock); instead it bumps the epoch,
+	// and the install path discards the granted data and retries when the
+	// epoch moved. This keeps the MRSW invariant: data granted before a
+	// revocation is never installed after it.
+	epoch uint64
+}
+
+// FileCache is the VMM half of one pager-cache connection: the pages the
+// VMM caches for one memory-object backing store, plus the pager object it
+// faults from. Coherency actions from the pager arrive through the
+// associated vmmCacheObject.
+type FileCache struct {
+	vmm   *VMM
+	pager PagerObject
+	id    uint64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pages     map[int64]*page
+	destroyed bool
+	readAhead int // extra pages to request via HintedPager, 0 = none
+}
+
+// ID returns the connection identifier (equals the rights token id).
+func (fc *FileCache) ID() uint64 { return fc.id }
+
+// Pager returns the pager object the cache faults from.
+func (fc *FileCache) Pager() PagerObject { return fc.pager }
+
+// SetReadAhead configures how many extra pages to request on a fault when
+// the pager supports page-in hints (paper Section 8).
+func (fc *FileCache) SetReadAhead(pages int) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.readAhead = pages
+}
+
+// PageCount returns the number of present pages.
+func (fc *FileCache) PageCount() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	n := 0
+	for _, p := range fc.pages {
+		if p.state == pagePresent {
+			n++
+		}
+	}
+	return n
+}
+
+// PageRights returns the rights of page pn and whether it is present.
+func (fc *FileCache) PageRights(pn int64) (Rights, bool) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	p, ok := fc.pages[pn]
+	if !ok || p.state != pagePresent {
+		return RightsNone, false
+	}
+	return p.rights, true
+}
+
+// ensure returns page pn with at least the requested rights, faulting it in
+// from the pager if necessary. The fault protocol: a faulting placeholder
+// is installed under the lock, the page-in happens with the lock released
+// (so coherency callbacks proceed), and waiters block on the condition
+// variable until the fault resolves. A coherency action that overlaps an
+// in-flight fault does not wait for it — it bumps the placeholder's epoch,
+// which makes the install path discard the granted data and retry the
+// fault (see page.epoch).
+func (fc *FileCache) ensure(pn int64, want Rights) (*page, error) {
+	for {
+		fc.mu.Lock()
+		for {
+			if fc.destroyed {
+				fc.mu.Unlock()
+				return nil, ErrDestroyed
+			}
+			p, ok := fc.pages[pn]
+			if !ok {
+				break // absent: fault below
+			}
+			if p.state == pageFaulting {
+				fc.cond.Wait()
+				continue
+			}
+			if p.rights.Includes(want) {
+				fc.vmm.touch(fc, pn)
+				fc.mu.Unlock()
+				return p, nil
+			}
+			// Present with insufficient rights: upgrade fault. Modified
+			// data must go back to the pager first so it is not lost;
+			// the pager hands the current contents back from the new
+			// page-in.
+			dirtyData := p.dirty
+			dataCopy := p.data
+			fc.pages[pn] = &page{state: pageFaulting}
+			fc.vmm.forget(fc, pn)
+			fc.mu.Unlock()
+			if dirtyData {
+				if err := fc.pager.PageOut(pn*PageSize, PageSize, dataCopy); err != nil {
+					fc.abortFault(pn)
+					return nil, err
+				}
+				fc.vmm.PageOuts.Inc()
+			}
+			goto fault
+		}
+		fc.pages[pn] = &page{state: pageFaulting}
+		fc.mu.Unlock()
+	fault:
+		p, retry, err := fc.fault(pn, want)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			return p, nil
+		}
+		// The grant was revoked mid-flight; run the protocol again.
+	}
+}
+
+// fault performs the page-in for pn (placeholder already installed) and
+// installs the result. retry is true when a coherency action revoked the
+// grant while it was in flight. Called without fc.mu held.
+func (fc *FileCache) fault(pn int64, want Rights) (p *page, retry bool, err error) {
+	fc.mu.Lock()
+	ph, ok := fc.pages[pn]
+	if !ok || ph.state != pageFaulting {
+		// Populate/ZeroFill replaced the placeholder already.
+		fc.mu.Unlock()
+		return nil, true, nil
+	}
+	epoch := ph.epoch
+	ra := fc.readAhead
+	fc.mu.Unlock()
+
+	var data []byte
+	if ra > 0 {
+		if hp, ok := spring.Narrow[HintedPager](fc.pager); ok {
+			data, err = hp.PageInHint(pn*PageSize, PageSize, Offset(ra+1)*PageSize, want)
+		} else {
+			data, err = fc.pager.PageIn(pn*PageSize, PageSize, want)
+		}
+	} else {
+		data, err = fc.pager.PageIn(pn*PageSize, PageSize, want)
+	}
+	if err != nil {
+		fc.abortFault(pn)
+		return nil, false, err
+	}
+	fc.vmm.PageIns.Inc()
+	if len(data) < PageSize || len(data)%PageSize != 0 {
+		err = fmt.Errorf("vm: pager returned %d bytes, want a positive multiple of %d", len(data), PageSize)
+		fc.abortFault(pn)
+		return nil, false, err
+	}
+
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	defer fc.cond.Broadcast()
+	if fc.destroyed {
+		delete(fc.pages, pn)
+		return nil, false, ErrDestroyed
+	}
+	cur, ok := fc.pages[pn]
+	if !ok || cur != ph || cur.state != pageFaulting || cur.epoch != epoch {
+		// Revoked or replaced mid-flight: discard the grant and retry.
+		if ok && cur == ph && cur.state == pageFaulting {
+			delete(fc.pages, pn)
+		}
+		return nil, true, nil
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, data[:PageSize])
+	p = &page{state: pagePresent, data: buf, rights: want}
+	fc.pages[pn] = p
+	fc.vmm.touch(fc, pn)
+	// Install any read-ahead surplus the pager returned. Extra pages get
+	// the same rights as the fault that pulled them in.
+	for i := 1; i*PageSize < len(data); i++ {
+		fc.installIfAbsentLocked(pn+int64(i), data[i*PageSize:(i+1)*PageSize], want)
+	}
+	return p, false, nil
+}
+
+// abortFault removes the faulting placeholder for pn after an error.
+func (fc *FileCache) abortFault(pn int64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if p, ok := fc.pages[pn]; ok && p.state == pageFaulting {
+		delete(fc.pages, pn)
+	}
+	fc.cond.Broadcast()
+}
+
+// installIfAbsentLocked installs a read-ahead page if nothing is cached or
+// faulting at pn. Caller holds fc.mu.
+func (fc *FileCache) installIfAbsentLocked(pn int64, data []byte, rights Rights) {
+	if fc.destroyed {
+		return
+	}
+	if _, ok := fc.pages[pn]; ok {
+		return
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, data)
+	fc.pages[pn] = &page{state: pagePresent, data: buf, rights: rights}
+	fc.vmm.touch(fc, pn)
+}
+
+// evict removes page pn if it is present, writing modified contents back to
+// the pager. It reports whether the page was evicted.
+func (fc *FileCache) evict(pn int64) bool {
+	fc.mu.Lock()
+	p, ok := fc.pages[pn]
+	if !ok || p.state != pagePresent {
+		fc.mu.Unlock()
+		return false
+	}
+	delete(fc.pages, pn)
+	fc.vmm.forget(fc, pn)
+	fc.mu.Unlock()
+	if p.dirty {
+		if err := fc.pager.PageOut(pn*PageSize, PageSize, p.data); err != nil {
+			// Reinstall rather than lose modified data.
+			fc.mu.Lock()
+			if _, exists := fc.pages[pn]; !exists && !fc.destroyed {
+				fc.pages[pn] = p
+				fc.vmm.touch(fc, pn)
+			}
+			fc.mu.Unlock()
+			return false
+		}
+		fc.vmm.PageOuts.Inc()
+	}
+	fc.vmm.Evictions.Inc()
+	return true
+}
+
+// revokeFaulting bumps the epoch of every in-flight fault in [first, last]
+// so the granted data is discarded on install and the fault retried.
+// Caller holds fc.mu. See page.epoch for why coherency actions must not
+// wait for in-flight faults.
+func (fc *FileCache) revokeFaulting(first, last int64) {
+	for pn, p := range fc.pages {
+		if pn >= first && pn <= last && p.state == pageFaulting {
+			p.epoch++
+		}
+	}
+}
+
+// presentInRange returns the sorted page numbers of present pages in
+// [first, last]. Cache operations iterate the sparse page map — never the
+// raw range, which may be "the whole file" (2^50+ pages). Caller holds
+// fc.mu.
+func (fc *FileCache) presentInRange(first, last int64) []int64 {
+	var pns []int64
+	for pn, p := range fc.pages {
+		if pn >= first && pn <= last && p.state == pagePresent {
+			pns = append(pns, pn)
+		}
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
+// collect gathers contiguous runs of modified pages in [first,last] into
+// Data extents, applying f to each dirty page (f may clear dirty, downgrade
+// or delete). Caller holds fc.mu.
+func (fc *FileCache) collectModified(first, last int64) []Data {
+	var out []Data
+	var run []byte
+	var runStart int64 = -1
+	flush := func() {
+		if runStart >= 0 {
+			out = append(out, Data{Offset: runStart * PageSize, Bytes: run})
+			run = nil
+			runStart = -1
+		}
+	}
+	prev := int64(-2)
+	for _, pn := range fc.presentInRange(first, last) {
+		p := fc.pages[pn]
+		if !p.dirty {
+			flush()
+			prev = pn
+			continue
+		}
+		if runStart >= 0 && pn != prev+1 {
+			flush()
+		}
+		if runStart < 0 {
+			runStart = pn
+		}
+		run = append(run, p.data...)
+		prev = pn
+	}
+	flush()
+	return out
+}
+
+// vmmCacheObject adapts a FileCache to the CacheObject interface pagers
+// invoke. It is a distinct type so that the VMM's cache object narrows to
+// plain CacheObject — not to fs_cache — letting pagers distinguish a VMM
+// from a stacked file system (Section 4.3).
+type vmmCacheObject FileCache
+
+var _ CacheObject = (*vmmCacheObject)(nil)
+
+func (c *vmmCacheObject) fc() *FileCache { return (*FileCache)(c) }
+
+// FlushBack implements CacheObject.
+func (c *vmmCacheObject) FlushBack(offset, size Offset) []Data {
+	fc := c.fc()
+	first, last := PageRange(offset, size)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.revokeFaulting(first, last)
+	out := fc.collectModified(first, last)
+	for pn, p := range fc.pages {
+		if pn >= first && pn <= last && p.state == pagePresent {
+			delete(fc.pages, pn)
+			fc.vmm.forget(fc, pn)
+		}
+	}
+	fc.cond.Broadcast()
+	return out
+}
+
+// DenyWrites implements CacheObject.
+func (c *vmmCacheObject) DenyWrites(offset, size Offset) []Data {
+	fc := c.fc()
+	first, last := PageRange(offset, size)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.revokeFaulting(first, last)
+	out := fc.collectModified(first, last)
+	for pn, p := range fc.pages {
+		if pn >= first && pn <= last && p.state == pagePresent {
+			p.rights = RightsRead
+			p.dirty = false
+		}
+	}
+	return out
+}
+
+// WriteBack implements CacheObject.
+func (c *vmmCacheObject) WriteBack(offset, size Offset) []Data {
+	fc := c.fc()
+	first, last := PageRange(offset, size)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.revokeFaulting(first, last)
+	out := fc.collectModified(first, last)
+	for pn, p := range fc.pages {
+		if pn >= first && pn <= last && p.state == pagePresent {
+			p.dirty = false
+		}
+	}
+	return out
+}
+
+// DeleteRange implements CacheObject.
+func (c *vmmCacheObject) DeleteRange(offset, size Offset) {
+	fc := c.fc()
+	first, last := PageRange(offset, size)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.revokeFaulting(first, last)
+	for pn, p := range fc.pages {
+		if pn >= first && pn <= last && p.state == pagePresent {
+			delete(fc.pages, pn)
+			fc.vmm.forget(fc, pn)
+		}
+	}
+	fc.cond.Broadcast()
+}
+
+// ZeroFill implements CacheObject. Zero pages are installed read-write:
+// only the pager invokes ZeroFill, and by doing so it grants the range (it
+// is used when a file is extended, so no other cache can hold the range).
+func (c *vmmCacheObject) ZeroFill(offset, size Offset) {
+	fc := c.fc()
+	first, last := PageRange(offset, size)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.revokeFaulting(first, last)
+	if fc.destroyed {
+		return
+	}
+	for pn := first; pn <= last; pn++ {
+		fc.pages[pn] = &page{state: pagePresent, data: make([]byte, PageSize), rights: RightsWrite}
+		fc.vmm.touch(fc, pn)
+	}
+	fc.cond.Broadcast()
+}
+
+// Populate implements CacheObject.
+func (c *vmmCacheObject) Populate(offset, size Offset, access Rights, data []byte) {
+	fc := c.fc()
+	first, last := PageRange(offset, size)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.revokeFaulting(first, last)
+	if fc.destroyed {
+		return
+	}
+	for pn := first; pn <= last; pn++ {
+		buf := make([]byte, PageSize)
+		copy(buf, data[(pn-first)*PageSize:])
+		fc.pages[pn] = &page{state: pagePresent, data: buf, rights: access}
+		fc.vmm.touch(fc, pn)
+	}
+	fc.cond.Broadcast()
+}
+
+// DestroyCache implements CacheObject.
+func (c *vmmCacheObject) DestroyCache() {
+	fc := c.fc()
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for pn := range fc.pages {
+		fc.vmm.forget(fc, pn)
+	}
+	fc.pages = make(map[int64]*page)
+	fc.destroyed = true
+	fc.cond.Broadcast()
+}
+
+// Mapping is a memory object mapped with some access rights. Reads and
+// writes go through the VMM page cache, faulting pages from the pager as
+// needed; this is the "map the file into its address space and read/write
+// the mapped memory" path file servers use to implement read/write
+// operations.
+type Mapping struct {
+	fc     *FileCache
+	access Rights
+	mobj   MemoryObject
+}
+
+// MemoryObject returns the mapped memory object.
+func (m *Mapping) MemoryObject() MemoryObject { return m.mobj }
+
+// Cache returns the underlying file cache (for tests and diagnostics).
+func (m *Mapping) Cache() *FileCache { return m.fc }
+
+// ReadAt copies len(p) bytes at offset off out of the mapping. It operates
+// at page granularity below the file length abstraction: callers enforce
+// EOF; ReadAt always succeeds for any in-range page the pager can provide.
+func (m *Mapping) ReadAt(p []byte, off int64) (int, error) {
+	if !m.access.CanRead() {
+		return 0, ErrNoAccess
+	}
+	done := 0
+	for done < len(p) {
+		pn := (off + int64(done)) / PageSize
+		pageOff := (off + int64(done)) % PageSize
+		pg, err := m.fc.ensure(pn, RightsRead)
+		if err != nil {
+			return done, err
+		}
+		m.fc.mu.Lock()
+		n := copy(p[done:], pg.data[pageOff:])
+		m.fc.mu.Unlock()
+		done += n
+	}
+	return done, nil
+}
+
+// WriteAt copies p into the mapping at offset off, faulting pages in
+// read-write mode and marking them modified.
+func (m *Mapping) WriteAt(p []byte, off int64) (int, error) {
+	if !m.access.CanWrite() {
+		return 0, ErrNoAccess
+	}
+	done := 0
+	for done < len(p) {
+		pn := (off + int64(done)) / PageSize
+		pageOff := (off + int64(done)) % PageSize
+		pg, err := m.fc.ensure(pn, RightsWrite)
+		if err != nil {
+			return done, err
+		}
+		m.fc.mu.Lock()
+		// Re-validate under the lock: a coherency action may have
+		// downgraded the page between ensure and here.
+		if pg.state != pagePresent || !pg.rights.CanWrite() {
+			m.fc.mu.Unlock()
+			continue
+		}
+		n := copy(pg.data[pageOff:], p[done:])
+		pg.dirty = true
+		m.fc.mu.Unlock()
+		done += n
+	}
+	m.fc.vmm.maybeEvict()
+	return done, nil
+}
+
+// Sync pushes all modified pages of the mapping back to the pager in file
+// order (sequential write-back lets the pager lay blocks out
+// contiguously), keeping them cached.
+func (m *Mapping) Sync() error {
+	fc := m.fc
+	fc.mu.Lock()
+	var pns []int64
+	for pn, p := range fc.pages {
+		if p.state == pagePresent && p.dirty {
+			pns = append(pns, pn)
+		}
+	}
+	fc.mu.Unlock()
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		fc.mu.Lock()
+		p, ok := fc.pages[pn]
+		if !ok || p.state != pagePresent || !p.dirty {
+			fc.mu.Unlock()
+			continue
+		}
+		data := make([]byte, PageSize)
+		copy(data, p.data)
+		fc.mu.Unlock()
+		if err := fc.pager.Sync(pn*PageSize, PageSize, data); err != nil {
+			return err
+		}
+		fc.vmm.PageOuts.Inc()
+		fc.mu.Lock()
+		if p2, ok := fc.pages[pn]; ok && p2 == p {
+			p2.dirty = false
+		}
+		fc.mu.Unlock()
+	}
+	return nil
+}
+
+// Unmap releases the mapping. The cache connection persists (other
+// mappings and future binds reuse it); Unmap exists so address-space
+// accounting in AddressSpace works.
+func (m *Mapping) Unmap() {}
+
+// DropCaches evicts every cached page from every file cache, writing
+// modified pages back to their pagers first. The benchmark harness uses it
+// to measure cold-cache operation costs; it is not part of the paper's
+// architecture.
+func (v *VMM) DropCaches() error {
+	v.mu.Lock()
+	caches := make([]*FileCache, 0, len(v.caches))
+	for _, fc := range v.caches {
+		caches = append(caches, fc)
+	}
+	v.mu.Unlock()
+	for _, fc := range caches {
+		fc.mu.Lock()
+		type dirtyPage struct {
+			pn   int64
+			data []byte
+		}
+		var dirty []dirtyPage
+		for pn, p := range fc.pages {
+			if p.state != pagePresent {
+				continue
+			}
+			if p.dirty {
+				cp := make([]byte, PageSize)
+				copy(cp, p.data)
+				dirty = append(dirty, dirtyPage{pn, cp})
+			}
+			delete(fc.pages, pn)
+			v.forget(fc, pn)
+		}
+		fc.cond.Broadcast()
+		fc.mu.Unlock()
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i].pn < dirty[j].pn })
+		for _, d := range dirty {
+			if err := fc.pager.PageOut(d.pn*PageSize, PageSize, d.data); err != nil {
+				return err
+			}
+			v.PageOuts.Inc()
+		}
+	}
+	return nil
+}

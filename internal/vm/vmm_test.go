@@ -1,0 +1,717 @@
+package vm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"springfs/internal/spring"
+)
+
+// memPager is a test pager: an in-memory backing store exporting one memory
+// object per file, with the bind-time object exchange of Section 3.3.2.
+type memPager struct {
+	domain *spring.Domain
+
+	mu     sync.Mutex
+	store  map[int64][]byte // page number -> page data
+	length int64
+	conns  map[CacheManager]*memConn
+
+	pageIns  int
+	pageOuts int
+}
+
+type memConn struct {
+	cache  CacheObject
+	rights CacheRights
+}
+
+func newMemPager(domain *spring.Domain) *memPager {
+	return &memPager{
+		domain: domain,
+		store:  make(map[int64][]byte),
+		conns:  make(map[CacheManager]*memConn),
+	}
+}
+
+// Bind implements MemoryObject.
+func (p *memPager) Bind(caller CacheManager, access Rights, offset, length Offset) (CacheRights, error) {
+	p.mu.Lock()
+	if c, ok := p.conns[caller]; ok {
+		p.mu.Unlock()
+		return c.rights, nil
+	}
+	p.mu.Unlock()
+	// Object exchange: hand the manager a pager proxy over a channel from
+	// the manager's domain to ours; wrap its cache object for our side.
+	ch := spring.Connect(caller.ManagerDomain(), p.domain)
+	pagerForManager := NewPagerProxy(ch, p)
+	cache, rights := caller.NewConnection(pagerForManager)
+	back := spring.Connect(p.domain, caller.ManagerDomain())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.conns[caller]; ok {
+		return c.rights, nil
+	}
+	p.conns[caller] = &memConn{cache: NewCacheProxy(back, cache), rights: rights}
+	return rights, nil
+}
+
+// GetLength implements MemoryObject.
+func (p *memPager) GetLength() (Offset, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.length, nil
+}
+
+// SetLength implements MemoryObject.
+func (p *memPager) SetLength(length Offset) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.length = length
+	return nil
+}
+
+// PageIn implements PagerObject.
+func (p *memPager) PageIn(offset, size Offset, access Rights) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pageIns++
+	out := make([]byte, size)
+	for pn := offset / PageSize; pn*PageSize < offset+size; pn++ {
+		if pg, ok := p.store[pn]; ok {
+			copy(out[(pn*PageSize-offset):], pg)
+		}
+	}
+	return out, nil
+}
+
+func (p *memPager) storeData(offset Offset, data []byte) {
+	for i := 0; i < len(data); i += PageSize {
+		pn := (offset + int64(i)) / PageSize
+		pg := make([]byte, PageSize)
+		copy(pg, data[i:])
+		p.store[pn] = pg
+	}
+}
+
+// PageOut implements PagerObject.
+func (p *memPager) PageOut(offset, size Offset, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pageOuts++
+	p.storeData(offset, data)
+	return nil
+}
+
+// WriteOut implements PagerObject.
+func (p *memPager) WriteOut(offset, size Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// Sync implements PagerObject.
+func (p *memPager) Sync(offset, size Offset, data []byte) error {
+	return p.PageOut(offset, size, data)
+}
+
+// DoneWithPagerObject implements PagerObject.
+func (p *memPager) DoneWithPagerObject() {}
+
+// testRig bundles a node, a VMM domain and a pager domain.
+type testRig struct {
+	node        *spring.Node
+	vmmDomain   *spring.Domain
+	pagerDomain *spring.Domain
+	vmm         *VMM
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	node := spring.NewNode("test-node")
+	t.Cleanup(node.Stop)
+	vd := spring.NewDomain(node, "vmm")
+	pd := spring.NewDomain(node, "pager")
+	return &testRig{node: node, vmmDomain: vd, pagerDomain: pd, vmm: New(vd, "vmm")}
+}
+
+func TestMapReadWrite(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	msg := []byte("hello, spring vm")
+	if _, err := m.WriteAt(msg, 100); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := m.ReadAt(got, 100); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("ReadAt = %q, want %q", got, msg)
+	}
+}
+
+func TestEquivalentMemoryObjectsShareCache(t *testing.T) {
+	// Per Section 3.3.2: if two equivalent memory objects are mapped, the
+	// same cache_rights object is returned and they share cached pages.
+	// Our memPager is its own memory object, so map it twice.
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m1, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Cache() != m2.Cache() {
+		t.Fatal("two maps of the same backing store got different caches")
+	}
+	if _, err := m1.WriteAt([]byte("shared"), 0); err != nil {
+		t.Fatal(err)
+	}
+	pageInsBefore := pager.pageIns
+	got := make([]byte, 6)
+	if _, err := m2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared" {
+		t.Errorf("read through second mapping = %q", got)
+	}
+	if pager.pageIns != pageInsBefore {
+		t.Errorf("read through second mapping caused %d page-ins, want 0", pager.pageIns-pageInsBefore)
+	}
+}
+
+func TestWriteFaultRequestsWriteAccess(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Cache()
+	if r, ok := fc.PageRights(0); !ok || r != RightsRead {
+		t.Errorf("after read fault rights = %v, present=%v; want read-only", r, ok)
+	}
+	if _, err := m.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := fc.PageRights(0); r != RightsWrite {
+		t.Errorf("after write fault rights = %v, want read-write", r)
+	}
+	if pager.pageIns != 2 {
+		t.Errorf("pageIns = %d, want 2 (read fault then upgrade fault)", pager.pageIns)
+	}
+}
+
+func TestFlushBackReturnsModified(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("dirty data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Cache()
+	cache := (*vmmCacheObject)(fc)
+	out := cache.FlushBack(0, PageSize)
+	if len(out) != 1 {
+		t.Fatalf("FlushBack returned %d extents, want 1", len(out))
+	}
+	if string(out[0].Bytes[:10]) != "dirty data" {
+		t.Errorf("flushed data = %q", out[0].Bytes[:10])
+	}
+	if fc.PageCount() != 0 {
+		t.Errorf("pages after flush = %d, want 0", fc.PageCount())
+	}
+}
+
+func TestDenyWritesDowngrades(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("modified"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Cache()
+	cache := (*vmmCacheObject)(fc)
+	out := cache.DenyWrites(0, PageSize)
+	if len(out) != 1 || string(out[0].Bytes[:8]) != "modified" {
+		t.Fatalf("DenyWrites returned %v extents", len(out))
+	}
+	if r, _ := fc.PageRights(0); r != RightsRead {
+		t.Errorf("rights after DenyWrites = %v, want read-only", r)
+	}
+	// Data still readable without a fault.
+	before := pager.pageIns
+	buf := make([]byte, 8)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if pager.pageIns != before {
+		t.Error("read after DenyWrites faulted; page should be retained")
+	}
+	// A write must upgrade-fault.
+	if _, err := m.WriteAt([]byte("again"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if pager.pageIns != before+1 {
+		t.Errorf("write after DenyWrites: pageIns delta = %d, want 1", pager.pageIns-before)
+	}
+}
+
+func TestWriteBackRetains(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("keep me"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Cache()
+	cache := (*vmmCacheObject)(fc)
+	out := cache.WriteBack(0, PageSize)
+	if len(out) != 1 {
+		t.Fatalf("WriteBack extents = %d, want 1", len(out))
+	}
+	if r, ok := fc.PageRights(0); !ok || r != RightsWrite {
+		t.Errorf("page after WriteBack rights=%v present=%v, want retained read-write", r, ok)
+	}
+	// Second WriteBack finds nothing dirty.
+	if out := cache.WriteBack(0, PageSize); len(out) != 0 {
+		t.Errorf("second WriteBack extents = %d, want 0", len(out))
+	}
+}
+
+func TestDeleteRangeAndZeroFill(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Cache()
+	cache := (*vmmCacheObject)(fc)
+	cache.DeleteRange(0, PageSize)
+	if fc.PageCount() != 0 {
+		t.Errorf("pages after DeleteRange = %d", fc.PageCount())
+	}
+	cache.ZeroFill(0, 2*PageSize)
+	if fc.PageCount() != 2 {
+		t.Errorf("pages after ZeroFill = %d, want 2", fc.PageCount())
+	}
+	before := pager.pageIns
+	buf := make([]byte, 3)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0}) {
+		t.Errorf("zero-filled read = %v", buf)
+	}
+	if pager.pageIns != before {
+		t.Error("reading zero-filled page faulted")
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Cache()
+	cache := (*vmmCacheObject)(fc)
+	data := make([]byte, PageSize)
+	copy(data, "pre-populated")
+	cache.Populate(0, PageSize, RightsRead, data)
+	before := pager.pageIns
+	buf := make([]byte, 13)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pre-populated" {
+		t.Errorf("read = %q", buf)
+	}
+	if pager.pageIns != before {
+		t.Error("read of populated page faulted")
+	}
+}
+
+func TestDestroyCache(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	cache := (*vmmCacheObject)(m.Cache())
+	cache.DestroyCache()
+	if _, err := m.ReadAt(make([]byte, 1), 0); err != ErrDestroyed {
+		t.Errorf("read after destroy error = %v, want ErrDestroyed", err)
+	}
+}
+
+func TestEvictionBoundsResidency(t *testing.T) {
+	rig := newRig(t)
+	rig.vmm.SetMaxPages(8)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, PageSize)
+	for pn := int64(0); pn < 32; pn++ {
+		for i := range payload {
+			payload[i] = byte(pn)
+		}
+		if _, err := m.WriteAt(payload, pn*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rig.vmm.ResidentPages(); got > 8 {
+		t.Errorf("resident pages = %d, want <= 8", got)
+	}
+	if rig.vmm.Evictions.Value() == 0 {
+		t.Error("no evictions recorded")
+	}
+	// Evicted dirty pages were paged out; re-reading them gets the data
+	// back from the pager.
+	got := make([]byte, PageSize)
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d of evicted page 0 = %d, want 0", i, b)
+		}
+	}
+	if _, err := m.ReadAt(got, 5*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Errorf("evicted page 5 data = %d, want 5", got[0])
+	}
+}
+
+func TestMappingSync(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("synced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pager.mu.Lock()
+	pg := pager.store[0]
+	pager.mu.Unlock()
+	if pg == nil || string(pg[:6]) != "synced" {
+		t.Errorf("pager store after Sync = %q", pg)
+	}
+	if r, ok := m.Cache().PageRights(0); !ok || r != RightsWrite {
+		t.Errorf("page after Sync rights=%v present=%v, want retained", r, ok)
+	}
+}
+
+func TestReadOnlyMappingRejectsWrites(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("x"), 0); err != ErrNoAccess {
+		t.Errorf("write to read-only mapping error = %v, want ErrNoAccess", err)
+	}
+}
+
+func TestFigure2Topology(t *testing.T) {
+	// Figure 2: Pager 1 serves two distinct memory objects cached by
+	// VMM 1 (two pager-cache connections); Pager 2 serves one memory
+	// object cached at both VMM 1 and VMM 2 (one connection per VMM).
+	node := spring.NewNode("n")
+	defer node.Stop()
+	vd1 := spring.NewDomain(node, "vmm1")
+	vd2 := spring.NewDomain(node, "vmm2")
+	pd1 := spring.NewDomain(node, "pager1")
+	pd2 := spring.NewDomain(node, "pager2")
+	vmm1 := New(vd1, "vmm1")
+	vmm2 := New(vd2, "vmm2")
+
+	fileA := newMemPager(pd1)
+	fileB := newMemPager(pd1)
+	fileC := newMemPager(pd2)
+
+	mA, err := vmm1.Map(fileA, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := vmm1.Map(fileB, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mA.Cache() == mB.Cache() {
+		t.Error("distinct memory objects share a pager-cache connection")
+	}
+	mC1, err := vmm1.Map(fileC, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mC2, err := vmm2.Map(fileC, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mC1.Cache() == mC2.Cache() {
+		t.Error("two VMMs share one cache structure")
+	}
+	if len(fileC.conns) != 2 {
+		t.Errorf("pager 2 has %d connections, want 2 (one per VMM)", len(fileC.conns))
+	}
+	if len(fileA.conns) != 1 || len(fileB.conns) != 1 {
+		t.Errorf("pager 1 connection counts = %d, %d; want 1, 1", len(fileA.conns), len(fileB.conns))
+	}
+}
+
+func TestAddressSpace(t *testing.T) {
+	rig := newRig(t)
+	as := NewAddressSpace(rig.vmm)
+	pager := newMemPager(rig.pagerDomain)
+	if err := pager.SetLength(3 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.Map(pager, RightsWrite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Length != 3*PageSize {
+		t.Errorf("region length = %d, want %d", r.Length, 3*PageSize)
+	}
+	if _, err := as.WriteVA([]byte("via VA"), r.Base+10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := as.ReadVA(buf, r.Base+10); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "via VA" {
+		t.Errorf("ReadVA = %q", buf)
+	}
+	// Unmapped address faults.
+	if _, err := as.ReadVA(buf, 0); err == nil {
+		t.Error("read of unmapped VA succeeded")
+	}
+	// Access past region end faults.
+	if _, err := as.ReadVA(buf, r.Base+r.Length-2); err == nil {
+		t.Error("read past region end succeeded")
+	}
+	if err := as.Unmap(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.ReadVA(buf, r.Base+10); err == nil {
+		t.Error("read after unmap succeeded")
+	}
+}
+
+func TestConcurrentMappedWriters(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const pagesPer = 4
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			for p := 0; p < pagesPer; p++ {
+				off := int64(w*pagesPer+p) * PageSize
+				if _, err := m.WriteAt(buf, off); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	buf := make([]byte, PageSize)
+	for w := 0; w < workers; w++ {
+		off := int64(w*pagesPer) * PageSize
+		if _, err := m.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(w+1) {
+			t.Errorf("worker %d data = %d", w, buf[0])
+		}
+	}
+}
+
+// TestPropertyMappedIOMatchesModel compares mapped reads/writes against a
+// flat byte-slice reference model.
+func TestPropertyMappedIOMatchesModel(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const space = 16 * PageSize
+	model := make([]byte, space)
+	f := func(offRaw uint32, lenRaw uint16, seed byte) bool {
+		off := int64(offRaw) % (space - 1)
+		length := int64(lenRaw)%2048 + 1
+		if off+length > space {
+			length = space - off
+		}
+		data := make([]byte, length)
+		for i := range data {
+			data[i] = seed ^ byte(i)
+		}
+		if _, err := m.WriteAt(data, off); err != nil {
+			return false
+		}
+		copy(model[off:], data)
+		got := make([]byte, length)
+		if _, err := m.ReadAt(got, off); err != nil {
+			return false
+		}
+		return bytes.Equal(got, model[off:off+length])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if !PageAligned(0, PageSize) || !PageAligned(PageSize, 0) {
+		t.Error("aligned values reported unaligned")
+	}
+	if PageAligned(1, PageSize) || PageAligned(0, 100) {
+		t.Error("unaligned values reported aligned")
+	}
+	first, last := PageRange(0, PageSize)
+	if first != 0 || last != 0 {
+		t.Errorf("PageRange(0, 4096) = %d..%d", first, last)
+	}
+	first, last = PageRange(PageSize, 2*PageSize)
+	if first != 1 || last != 2 {
+		t.Errorf("PageRange = %d..%d, want 1..2", first, last)
+	}
+	if RoundUp(1) != PageSize || RoundUp(PageSize) != PageSize || RoundUp(0) != 0 {
+		t.Error("RoundUp wrong")
+	}
+}
+
+func TestRightsSemantics(t *testing.T) {
+	tests := []struct {
+		r        Rights
+		canRead  bool
+		canWrite bool
+	}{
+		{RightsNone, false, false},
+		{RightsRead, true, false},
+		{RightsWrite, true, true},
+	}
+	for _, tt := range tests {
+		if tt.r.CanRead() != tt.canRead || tt.r.CanWrite() != tt.canWrite {
+			t.Errorf("%v: CanRead=%v CanWrite=%v", tt.r, tt.r.CanRead(), tt.r.CanWrite())
+		}
+	}
+	if !RightsWrite.Includes(RightsRead) {
+		t.Error("write rights should include read")
+	}
+	if RightsRead.Includes(RightsWrite) {
+		t.Error("read rights should not include write")
+	}
+}
+
+// TestMemoryObjectHasNoPagingOps is the Table 1 compile-time check: the
+// Spring memory object exposes bind/length operations but no paging
+// operations, unlike Mach.
+func TestMemoryObjectHasNoPagingOps(t *testing.T) {
+	type pagingOps interface {
+		PageIn(offset, size Offset, access Rights) ([]byte, error)
+	}
+	var mobj MemoryObject = newMemPager(nil)
+	_ = mobj
+	// The interface itself must not require paging ops: a type with only
+	// Bind/GetLength/SetLength satisfies MemoryObject.
+	var _ MemoryObject = onlyMemoryObject{}
+	// And MemoryObject must not be convertible to a paging interface.
+	if _, ok := any(onlyMemoryObject{}).(pagingOps); ok {
+		t.Error("MemoryObject unexpectedly exposes paging operations")
+	}
+}
+
+type onlyMemoryObject struct{}
+
+func (onlyMemoryObject) Bind(CacheManager, Rights, Offset, Offset) (CacheRights, error) {
+	return nil, nil
+}
+func (onlyMemoryObject) GetLength() (Offset, error) { return 0, nil }
+func (onlyMemoryObject) SetLength(Offset) error     { return nil }
+
+func TestDropCachesFlushesDirty(t *testing.T) {
+	rig := newRig(t)
+	pager := newMemPager(rig.pagerDomain)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("must not be lost"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.vmm.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.vmm.ResidentPages(); got != 0 {
+		t.Errorf("resident pages after drop = %d", got)
+	}
+	// The dirty page reached the pager; re-reading faults it back intact.
+	got := make([]byte, 16)
+	before := pager.pageIns
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "must not be lost" {
+		t.Errorf("data after drop = %q", got)
+	}
+	if pager.pageIns != before+1 {
+		t.Errorf("refault count = %d", pager.pageIns-before)
+	}
+}

@@ -1,0 +1,53 @@
+package springfs
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestPersistentSFS verifies a file-backed volume: data written through a
+// full stack survives stopping the node, the process-level analogue of a
+// reboot, with the bytes living in a real file on the host.
+func TestPersistentSFS(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "volume.img")
+	payload := []byte("bytes on a real host file")
+
+	node := NewNode("persist")
+	sfs, err := node.NewPersistentSFS("vol", img, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sfs.Device != nil {
+		t.Error("file-backed volume reports a RAM device")
+	}
+	if err := WriteFile(sfs.FS(), "f", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfs.FS().SyncFS(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfs.RawDevice.Close(); err != nil {
+		t.Fatal(err)
+	}
+	node.Stop()
+
+	// "Reboot": a fresh node over the same image.
+	node2 := NewNode("persist2")
+	defer node2.Stop()
+	sfs2, err := node2.NewPersistentSFS("vol", img, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(sfs2.FS(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("after reboot = %q", got)
+	}
+	// An already-formatted image must NOT be re-formatted.
+	if err := WriteFile(sfs2.FS(), "g", []byte("second boot")); err != nil {
+		t.Fatal(err)
+	}
+}

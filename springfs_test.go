@@ -1,0 +1,230 @@
+package springfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNodeQuickstart(t *testing.T) {
+	node := NewNode("test")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(sfs.FS(), "hello.txt", []byte("hello, spring")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(sfs.FS(), "hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello, spring" {
+		t.Errorf("ReadFile = %q", got)
+	}
+	// The file system is bound in the node's name space.
+	obj, err := node.Root().Resolve("fs/sfs0a/hello.txt", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obj.(File); !ok {
+		t.Errorf("resolved %T through the namespace", obj)
+	}
+}
+
+func TestConfigureStackRecipe(t *testing.T) {
+	// The full Section 4.4 recipe through the public API: look up a
+	// creator from the well-known context, create an instance, stack it,
+	// bind it in the name space.
+	node := NewNode("test")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := node.ConfigureStack("compfs_creator",
+		map[string]string{"name": "compfs"}, []StackableFS{sfs.FS()}, "compfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(layer, "doc", bytes.Repeat([]byte("compressible "), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(layer, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 13000 {
+		t.Errorf("read %d bytes", len(got))
+	}
+	// And it is reachable by name.
+	if _, err := node.Root().Resolve("compfs/doc", Root); err != nil {
+		t.Errorf("namespace resolve: %v", err)
+	}
+}
+
+func TestStackHelper(t *testing.T) {
+	node := NewNode("test")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crypt, err := node.NewCryptFS("crypt", "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := node.NewCompFS("comp", true)
+	top, err := Stack(sfs.FS(), crypt, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.FSName() != "comp" {
+		t.Errorf("top = %s", top.FSName())
+	}
+	msg := bytes.Repeat([]byte("layered! "), 500)
+	if err := WriteFile(top, "deep", msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(top, "deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("three-layer round trip failed")
+	}
+	// The bottom sees neither plaintext nor COMPFS structure in the
+	// clear.
+	raw, err := ReadFile(sfs.FS(), "deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("layered!")) {
+		t.Error("plaintext visible at the base layer")
+	}
+}
+
+func TestWatchHelper(t *testing.T) {
+	node := NewNode("test")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sfs.FS().Create("w", Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	w := Watch(f, WatchdogHooks{Observe: func(op string) { ops = append(ops, op) }})
+	if _, err := w.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0] != "write" {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestDFSThroughFacade(t *testing.T) {
+	network := NewNetwork(LANInstant)
+	home := NewNode("home")
+	defer home.Stop()
+	remote := NewNode("remote")
+	defer remote.Stop()
+
+	sfs, err := home.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := network.Listen("home:dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := home.ServeDFS("dfs", sfs.FS(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := network.Dial("home:dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := remote.DialDFS(conn, "remote-client")
+	defer client.Close()
+
+	rf, err := client.Create("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := remote.NewCFS("cfs")
+	cached := c.Interpose(rf)
+	if _, err := cached.WriteAt([]byte("via facade"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cached.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(sfs.FS(), "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "via facade" {
+		t.Errorf("home sees %q", got)
+	}
+}
+
+func TestSeparateDomainsSFS(t *testing.T) {
+	node := NewNode("test")
+	defer node.Stop()
+	sfs, err := node.NewSFS("split", DiskOptions{SeparateDomains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sfs.DiskDomain == sfs.CohDomain {
+		t.Fatal("layers share a domain")
+	}
+	if err := WriteFile(sfs.FS(), "x", []byte("cross-domain stack works")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(sfs.FS(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "cross-domain stack works" {
+		t.Errorf("got %q", got)
+	}
+	// The open path crossed domains at least once.
+	if sfs.DiskDomain.Invocations.Value() == 0 {
+		t.Error("no invocations reached the disk layer's domain")
+	}
+}
+
+func TestMirrorThroughFacade(t *testing.T) {
+	node := NewNode("test")
+	defer node.Stop()
+	sfs1, err := node.NewSFS("sfs1", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfs2, err := node.NewSFS("sfs2", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := node.NewMirrorFS("mirror")
+	if err := m.StackOn(sfs1.FS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StackOn(sfs2.FS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(m, "r", []byte("both")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*SFS{sfs1, sfs2} {
+		got, err := ReadFile(s.FS(), "r")
+		if err != nil || string(got) != "both" {
+			t.Errorf("replica %s = %q, %v", s.Coherency.FSName(), got, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	fsbench -all               # everything
 //	fsbench -iters 5000        # iterations per cached row
 //	fsbench -disk1993          # use the full 1993 disk latency model
+//	fsbench -table2 -stats     # append per-layer latency breakdowns + a trace
 //
 // Absolute times reflect the simulation substrate, not 1993 hardware; the
 // claims under test are the *relative* ones the paper makes.
@@ -20,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"springfs"
 	"springfs/internal/bench"
 	"springfs/internal/blockdev"
+	"springfs/internal/stats"
 )
 
 func main() {
@@ -36,6 +39,7 @@ func main() {
 		all      = flag.Bool("all", false, "run everything")
 		iters    = flag.Int("iters", 5000, "iterations per cached row")
 		disk1993 = flag.Bool("disk1993", false, "use the full 1993 disk latency model (slow)")
+		withStat = flag.Bool("stats", false, "append per-layer latency breakdowns (histograms and a captured trace) to the table output")
 	)
 	flag.Parse()
 	if !*table2 && !*table3 && !*figures && !*macro && !*all {
@@ -47,13 +51,13 @@ func main() {
 		latency = blockdev.Profile1993
 	}
 	if *table2 || *all {
-		if err := runTable2(latency, *iters); err != nil {
+		if err := runTable2(latency, *iters, *withStat); err != nil {
 			fmt.Fprintln(os.Stderr, "table2:", err)
 			os.Exit(1)
 		}
 	}
 	if *table3 || *all {
-		if err := runTable3(latency, *iters); err != nil {
+		if err := runTable3(latency, *iters, *withStat); err != nil {
 			fmt.Fprintln(os.Stderr, "table3:", err)
 			os.Exit(1)
 		}
@@ -118,7 +122,7 @@ func fmtDur(d time.Duration) string {
 	}
 }
 
-func runTable2(latency blockdev.LatencyProfile, iters int) error {
+func runTable2(latency blockdev.LatencyProfile, iters int, withStats bool) error {
 	fmt.Println("== Table 2: Spring performance measurements (reproduction) ==")
 	fmt.Printf("disk latency model: seek=%v rotation=%v transfer=%v per 4KB block\n\n",
 		latency.Seek, latency.Rotation, latency.PerBlock)
@@ -209,13 +213,126 @@ func runTable2(latency blockdev.LatencyProfile, iters int) error {
 	check("uncached stat costs more than cached stat in the two-domain config (>=1.5x)",
 		ratio(get(2, 6), get(2, 5)) >= 1.5)
 	fmt.Println()
+	if withStats {
+		return runTable2Stats(latency, iters, results, check)
+	}
 	return nil
+}
+
+// runTable2Stats appends the -stats breakdown to Table 2: per-layer latency
+// histograms sampled over a tracing window of opens for each configuration,
+// a captured flame trace of one cross-domain open, and two automated shape
+// checks (crossing cost accounts for the majority of the stacking overhead;
+// instrumentation costs cached reads under 5%).
+func runTable2Stats(latency blockdev.LatencyProfile, iters int, results [][]bench.Row, check func(string, bool)) error {
+	fmt.Println("== Per-layer breakdown (-stats) ==")
+	builders := []func(blockdev.LatencyProfile) (*bench.Target, error){
+		bench.NewNotStacked,
+		bench.NewStackedOneDomain,
+		bench.NewStackedTwoDomains,
+	}
+	const samples = 256
+	var crossPerOpen time.Duration
+	for i, build := range builders {
+		t, err := build(latency)
+		if err != nil {
+			return err
+		}
+		if err := t.Open(); err != nil { // warm code path and name caches
+			t.Close()
+			return err
+		}
+		stats.Default.ResetAll()
+		stats.Trace.Reset()
+		stats.Trace.Enable()
+		for k := 0; k < samples; k++ {
+			if err := t.Open(); err != nil {
+				t.Close()
+				return err
+			}
+		}
+		stats.Trace.Disable()
+		snap := stats.Default.Export()
+		fmt.Printf("\n-- %s: per-layer latency over %d opens --\n", t.Name, samples)
+		printBreakdown(snap, samples)
+		if i == 2 {
+			// The crossing that exists only because the stack is split:
+			// its histogram holds the pure hand-off cost (invocation time
+			// minus server-side execution).
+			if h, ok := snap.Histograms["spring.cross-domain:coherency->disk"]; ok {
+				crossPerOpen = h.Total / samples
+			}
+			spans := stats.Trace.Capture(func() { _ = t.Open() })
+			fmt.Println("\n-- trace: one open, stacked, two domains --")
+			fmt.Print(stats.RenderTrace(spans))
+		}
+		t.Close()
+	}
+
+	// Instrumentation overhead on the cached-read hot path: default-on
+	// state (histograms armed, tracing off) vs everything off.
+	t, err := bench.NewStackedTwoDomains(latency)
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	if err := t.Read(0); err != nil {
+		return err
+	}
+	stats.SetEnabled(false)
+	offMean, err := bench.MeasureBest(5, iters, func(int) error { return t.Read(0) })
+	stats.SetEnabled(true)
+	if err != nil {
+		return err
+	}
+	onMean, err := bench.MeasureBest(5, iters, func(int) error { return t.Read(0) })
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nbreakdown claims, checked against the samples above:")
+	overhead := results[2][0].Mean - results[0][0].Mean
+	check(fmt.Sprintf("cross-domain open: the coherency->disk crossing (%s/open) accounts for the majority of the stacking overhead (%s/open)",
+		fmtDur(crossPerOpen), fmtDur(overhead)),
+		crossPerOpen > 0 && 2*crossPerOpen >= overhead)
+	check(fmt.Sprintf("instrumentation overhead on cached reads under 5%% (off %s, on %s)",
+		fmtDur(offMean), fmtDur(onMean)),
+		float64(onMean) < 1.05*float64(offMean))
+	fmt.Println()
+	return nil
+}
+
+// printBreakdown renders the non-empty histograms of a snapshot sorted by
+// total time, with each op's per-sampled-open contribution.
+func printBreakdown(snap stats.Snapshot, samples int) {
+	type entry struct {
+		name string
+		h    stats.HistogramStats
+	}
+	var entries []entry
+	for name, h := range snap.Histograms {
+		entries = append(entries, entry{name, h})
+	}
+	if len(entries) == 0 {
+		fmt.Println("  (no layer ops recorded)")
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].h.Total > entries[j].h.Total })
+	fmt.Printf("  %-44s %8s %10s %10s %12s\n", "layer.op", "count", "mean", "p95<", "per-open")
+	for _, e := range entries {
+		fmt.Printf("  %-44s %8d %10s %10s %12s\n",
+			e.name, e.h.Count, fmtDur(e.h.Mean), fmtDur(e.h.P95),
+			fmtDur(e.h.Total/time.Duration(samples)))
+	}
 }
 
 func ratio(a, b time.Duration) float64 { return float64(a) / float64(b) }
 
-func runTable3(latency blockdev.LatencyProfile, iters int) error {
+func runTable3(latency blockdev.LatencyProfile, iters int, withStats bool) error {
 	fmt.Println("== Table 3: monolithic baseline (SunOS analogue) ==")
+	if withStats {
+		stats.Default.ResetAll()
+	}
 	u, err := bench.NewUnixFS(latency)
 	if err != nil {
 		return err
@@ -252,6 +369,11 @@ func runTable3(latency blockdev.LatencyProfile, iters int) error {
 	fmt.Println("kernel beats the untuned stacked microkernel), while disk-bound rows")
 	fmt.Println("converge because the device dominates.")
 	fmt.Println()
+	if withStats {
+		fmt.Println("-- always-on layer histograms collected during the spring run --")
+		printBreakdown(stats.Default.Export(), 1)
+		fmt.Println()
+	}
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"springfs/internal/fsys"
 	"springfs/internal/interpose"
 	"springfs/internal/naming"
+	"springfs/internal/stats"
 )
 
 func main() {
@@ -64,6 +65,8 @@ func execute(node *springfs.Node, line string) (quit bool) {
   rm <path>                             remove a binding
   sync <fs-path>                        flush a file system
   watch <path> audit|readonly           interpose a watchdog on one file (Sec. 5)
+  stats [reset]                         show (or zero) counters and latency histograms
+  trace <command...>                    run a command with tracing on, print the span tree
   quit                                  exit
 `)
 	case "quit", "exit":
@@ -294,6 +297,31 @@ func execute(node *springfs.Node, line string) (quit bool) {
 			return
 		}
 		fmt.Printf("watchdog (%s) interposed on %s\n", args[2], args[1])
+	case "stats":
+		if len(args) > 1 && args[1] == "reset" {
+			stats.Default.ResetAll()
+			fmt.Println("ok")
+			return
+		}
+		out := stats.Default.String()
+		if out == "" {
+			fmt.Println("(no stats recorded)")
+			return
+		}
+		fmt.Print(out)
+	case "trace":
+		if len(args) < 2 {
+			fmt.Println("usage: trace <command...>")
+			return
+		}
+		spans := stats.Trace.Capture(func() {
+			quit = execute(node, strings.Join(args[1:], " "))
+		})
+		if n := stats.Trace.Dropped(); n > 0 {
+			fmt.Printf("(%d spans dropped by ring wraparound)\n", n)
+		}
+		fmt.Print(stats.RenderTrace(spans))
+		return quit
 	case "sync":
 		if len(args) != 2 {
 			fmt.Println("usage: sync <fs-path>")

@@ -39,6 +39,14 @@ var (
 	ErrClosed = errors.New("blockdev: device closed")
 )
 
+// Instrumented operations: always-on (device I/O dwarfs the clock reads).
+// Spans cover the modelled seek/rotation/transfer sleep, so device time
+// shows up under these names in traces.
+var (
+	opRead  = stats.NewOp("blockdev.read", stats.BoundaryDirect)
+	opWrite = stats.NewOp("blockdev.write", stats.BoundaryDirect)
+)
+
 // LatencyProfile models the per-I/O cost of the device.
 type LatencyProfile struct {
 	// Seek is the average positioning cost charged when an I/O is not
@@ -167,6 +175,7 @@ func (d *MemDevice) ReadBlock(bn int64, buf []byte) error {
 	if len(buf) != BlockSize {
 		return ErrBadSize
 	}
+	t := opRead.Start()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -194,6 +203,7 @@ func (d *MemDevice) ReadBlock(bn int64, buf []byte) error {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	opRead.End(t, BlockSize)
 	return nil
 }
 
@@ -202,6 +212,7 @@ func (d *MemDevice) WriteBlock(bn int64, buf []byte) error {
 	if len(buf) != BlockSize {
 		return ErrBadSize
 	}
+	t := opWrite.Start()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -227,6 +238,7 @@ func (d *MemDevice) WriteBlock(bn int64, buf []byte) error {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	opWrite.End(t, BlockSize)
 	return nil
 }
 
@@ -299,6 +311,7 @@ func (d *MemDevice) ReadRun(bn int64, buf []byte) error {
 		return ErrBadSize
 	}
 	n := int64(len(buf) / BlockSize)
+	t := opRead.Start()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -335,6 +348,7 @@ func (d *MemDevice) ReadRun(bn int64, buf []byte) error {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	opRead.End(t, int64(len(buf)))
 	return nil
 }
 
@@ -345,6 +359,7 @@ func (d *MemDevice) WriteRun(bn int64, buf []byte) error {
 		return ErrBadSize
 	}
 	n := int64(len(buf) / BlockSize)
+	t := opWrite.Start()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -378,6 +393,7 @@ func (d *MemDevice) WriteRun(bn int64, buf []byte) error {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	opWrite.End(t, int64(len(buf)))
 	return nil
 }
 

@@ -28,6 +28,27 @@
 // protocol) happens with the busy flag released, and installs revalidate a
 // block epoch that revocations bump — the same protocol the VMM uses for
 // in-flight faults.
+//
+// # Vocabulary
+//
+// The cache/pager vocabulary from the layer's point of view — it plays
+// both halves at once:
+//
+//   - Downward it is a cache manager: it binds to each underlying file and
+//     keeps the fetched blocks in its own cache, presenting an fs_cache
+//     object so the lower layer's revocations reach it.
+//   - Upward it is a pager: whoever maps or binds one of its files (a VMM,
+//     another stacked layer, a DFS server on another machine) becomes a
+//     holder the protocol tracks.
+//   - holder: one cache object's claim on one block, at read-only or
+//     read-write strength. The per-block rule is many readers or exactly
+//     one writer.
+//   - coherency action (revocation): the call-outs that restore the rule —
+//     flush_back (retrieve dirty data), deny_writes (downgrade to
+//     read-only), delete_range (discard) — issued against holders when a
+//     conflicting request arrives.
+//   - write-through: dirty blocks are synced to the lower layer when
+//     coherency demands it or on Sync, not on every write.
 package coherency
 
 import (
@@ -44,6 +65,23 @@ import (
 
 // BlockSize is the coherency protocol's block granularity; one VM page.
 const BlockSize = vm.PageSize
+
+// Instrumented operations (see docs/OBSERVABILITY.md for the two tiers).
+// The hot ops sit on cached paths and record only during a tracing window;
+// the always-on ops mark traffic to the lower layer and coherency
+// call-outs, whose cost dwarfs the clock reads.
+var (
+	opOpen    = stats.NewHotOp("coh.open", stats.BoundaryDirect)
+	opResolve = stats.NewHotOp("coh.resolve", stats.BoundaryDirect)
+	opCreate  = stats.NewHotOp("coh.create", stats.BoundaryDirect)
+	opRead    = stats.NewHotOp("coh.read", stats.BoundaryDirect)
+	opWrite   = stats.NewHotOp("coh.write", stats.BoundaryDirect)
+	opStat    = stats.NewHotOp("coh.stat", stats.BoundaryDirect)
+
+	opPageIn       = stats.NewOp("coh.page_in", stats.BoundaryDirect)
+	opWriteThrough = stats.NewOp("coh.write_through", stats.BoundaryDirect)
+	opRevoke       = stats.NewOp("coh.revoke", stats.BoundaryDirect)
+)
 
 // CohFS is an instance of the coherency layer.
 type CohFS struct {
@@ -191,6 +229,8 @@ func (c *CohFS) wrap(obj naming.Object) naming.Object {
 
 // Create implements fsys.FS.
 func (c *CohFS) Create(name string, cred naming.Credentials) (fsys.File, error) {
+	t := opCreate.Start()
+	defer opCreate.End(t, 0)
 	under, err := c.underlying()
 	if err != nil {
 		return nil, err
@@ -204,6 +244,8 @@ func (c *CohFS) Create(name string, cred naming.Credentials) (fsys.File, error) 
 
 // Open implements fsys.FS.
 func (c *CohFS) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	t := opOpen.Start()
+	defer opOpen.End(t, 0)
 	obj, err := c.Resolve(name, cred)
 	if err != nil {
 		return nil, err
@@ -271,6 +313,8 @@ func (c *CohFS) InvalidateAttrCaches() {
 // Resolve implements naming.Context, wrapping resolved lower objects in
 // coherent counterparts.
 func (c *CohFS) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	t := opResolve.Start()
+	defer opResolve.End(t, 0)
 	under, err := c.underlying()
 	if err != nil {
 		return nil, err

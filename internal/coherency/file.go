@@ -202,11 +202,13 @@ func (f *cohFile) revokeForWrite(b *blockState, pn int64, requester *fsys.Connec
 		if h == requester {
 			continue
 		}
+		t := opRevoke.Start()
 		if r.CanWrite() {
 			f.absorb(b, pn, h.Cache.FlushBack(off, BlockSize))
 		} else {
 			h.Cache.DeleteRange(off, BlockSize)
 		}
+		opRevoke.End(t, BlockSize)
 		delete(b.holders, h)
 		f.fs.Revocations.Inc()
 	}
@@ -219,7 +221,9 @@ func (f *cohFile) revokeForRead(b *blockState, pn int64, requester *fsys.Connect
 		if h == requester || !r.CanWrite() {
 			continue
 		}
+		t := opRevoke.Start()
 		f.absorb(b, pn, h.Cache.DenyWrites(off, BlockSize))
+		opRevoke.End(t, BlockSize)
 		b.holders[h] = vm.RightsRead
 		f.fs.Revocations.Inc()
 	}
@@ -256,10 +260,12 @@ func (f *cohFile) pageInBlock(conn *fsys.Connection, pn int64, access vm.Rights)
 		if err != nil {
 			return nil, err
 		}
+		t := opPageIn.Start()
 		data, err := pager.PageIn(pn*BlockSize, BlockSize, access)
 		if err != nil {
 			return nil, err
 		}
+		opPageIn.End(t, BlockSize)
 		f.fs.LowerPageIns.Inc()
 
 		b = f.acquire(pn)
@@ -314,9 +320,11 @@ func (f *cohFile) writeThrough(pn int64) error {
 	if err != nil {
 		return err
 	}
+	t := opWriteThrough.Start()
 	if err := pager.Sync(pn*BlockSize, BlockSize, data); err != nil {
 		return err
 	}
+	opWriteThrough.End(t, BlockSize)
 	f.fs.LowerPageOuts.Inc()
 
 	b = f.acquire(pn)
@@ -443,7 +451,9 @@ func (f *cohFile) SetReadAhead(extra int) { f.io.SetReadAhead(extra) }
 
 // ReadAt implements fsys.File.
 func (f *cohFile) ReadAt(p []byte, off int64) (int, error) {
+	t := opRead.Start()
 	n, err := f.io.ReadAt(p, off)
+	opRead.End(t, int64(n))
 	if n > 0 {
 		f.attrs.Mutate(func(a *fsys.Attributes) { a.AccessTime = time.Now() })
 	}
@@ -452,7 +462,9 @@ func (f *cohFile) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements fsys.File.
 func (f *cohFile) WriteAt(p []byte, off int64) (int, error) {
+	t := opWrite.Start()
 	n, err := f.io.WriteAt(p, off)
+	opWrite.End(t, int64(n))
 	if n > 0 {
 		f.attrs.Mutate(func(a *fsys.Attributes) { a.ModifyTime = time.Now() })
 	}
@@ -461,7 +473,10 @@ func (f *cohFile) WriteAt(p []byte, off int64) (int, error) {
 
 // Stat implements fsys.File, served from the attribute cache.
 func (f *cohFile) Stat() (fsys.Attributes, error) {
-	return f.cachedAttrs()
+	t := opStat.Start()
+	attrs, err := f.cachedAttrs()
+	opStat.End(t, 0)
+	return attrs, err
 }
 
 // Sync implements fsys.File: push modified pages from the local mapping
@@ -565,6 +580,7 @@ func (f *cohFile) prefetch(offset, size vm.Offset, access vm.Rights) {
 		return
 	}
 	var bulk []byte
+	t := opPageIn.Start()
 	if hp, ok := spring.Narrow[vm.HintedPager](pager); ok {
 		bulk, err = hp.PageInHint(first*BlockSize, size, size, access)
 	} else {
@@ -573,6 +589,7 @@ func (f *cohFile) prefetch(offset, size vm.Offset, access vm.Rights) {
 	if err != nil || int64(len(bulk)) < size {
 		return
 	}
+	opPageIn.End(t, int64(len(bulk)))
 	f.fs.LowerPageIns.Inc()
 	for pn := first; pn <= last; pn++ {
 		b := f.acquire(pn)

@@ -10,7 +10,18 @@ import (
 	"springfs/internal/fsys"
 	"springfs/internal/naming"
 	"springfs/internal/spring"
+	"springfs/internal/stats"
 	"springfs/internal/vm"
+)
+
+// Instrumented operations (docs/OBSERVABILITY.md): the hot tier covers the
+// client-visible read/write path; compfs.page_in is always-on and marks
+// fetches of compressed data from the lower layer.
+var (
+	opRead  = stats.NewHotOp("compfs.read", stats.BoundaryDirect)
+	opWrite = stats.NewHotOp("compfs.write", stats.BoundaryDirect)
+
+	opPageIn = stats.NewOp("compfs.page_in", stats.BoundaryDirect)
 )
 
 // compFile is one COMPFS file: a transforming wrapper around a lower file
@@ -167,11 +178,15 @@ func (c *compCacheObject) DestroyCache() { c.invalidate() }
 // non-coherent mode — Figure 5 — the plain file interface is used and no
 // notification ever arrives.
 func (f *compFile) readLower(p []byte, off int64) error {
+	t := opPageIn.Start()
 	pager, _ := f.lowerPager.Load().(vm.PagerObject)
 	if f.fs.mode != ModeCoherent || pager == nil {
 		_, err := f.lower.ReadAt(p, off)
 		if err == io.EOF {
 			err = nil
+		}
+		if err == nil {
+			opPageIn.End(t, int64(len(p)))
 		}
 		return err
 	}
@@ -181,6 +196,7 @@ func (f *compFile) readLower(p []byte, off int64) error {
 	if err != nil {
 		return err
 	}
+	opPageIn.End(t, end-start)
 	copy(p, data[off-start:])
 	return nil
 }
@@ -295,6 +311,8 @@ func (f *compFile) writeBlockLocked(bn int64, data []byte) error {
 
 // ReadAt implements fsys.File.
 func (f *compFile) ReadAt(p []byte, off int64) (int, error) {
+	t := opRead.Start()
+	defer func() { opRead.End(t, int64(len(p))) }()
 	f.ensureBound()
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -330,6 +348,8 @@ func (f *compFile) ReadAt(p []byte, off int64) (int, error) {
 // WriteAt implements fsys.File: read-modify-write at block granularity,
 // written through compressed.
 func (f *compFile) WriteAt(p []byte, off int64) (int, error) {
+	t := opWrite.Start()
+	defer func() { opWrite.End(t, int64(len(p))) }()
 	f.ensureBound()
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -7,6 +7,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"springfs/internal/netsim"
+	"springfs/internal/stats"
 )
 
 // peer is one end of a full-duplex DFS protocol connection. Both sides can
@@ -15,6 +19,10 @@ import (
 // their waiting caller.
 type peer struct {
 	conn net.Conn
+
+	// boundary classifies the transport for observability: netsim for
+	// latency-modelled in-process links, tcp for real sockets.
+	boundary stats.Boundary
 
 	wmu    sync.Mutex // serialises frame writes
 	nextID atomic.Uint64
@@ -37,10 +45,14 @@ type peer struct {
 // the read loop starts, so it is never raced with an immediate failure.
 func newPeer(conn net.Conn, handler func(op Op, payload []byte) ([]byte, error), onClose func(err error)) *peer {
 	p := &peer{
-		conn:    conn,
-		pending: make(map[uint64]chan frame),
-		handler: handler,
-		onClose: onClose,
+		conn:     conn,
+		boundary: stats.BoundaryTCP,
+		pending:  make(map[uint64]chan frame),
+		handler:  handler,
+		onClose:  onClose,
+	}
+	if _, ok := conn.(*netsim.Conn); ok {
+		p.boundary = stats.BoundaryNetsim
 	}
 	go p.readLoop()
 	return p
@@ -128,8 +140,25 @@ func (p *peer) serve(f frame) {
 	_ = p.writeFrame(frame{kind: kindResponse, op: f.op, id: f.id, payload: e.b})
 }
 
-// call issues a request and waits for the matching response.
+// call issues a request and waits for the matching response. Each round
+// trip records a `dfs.<op>` histogram sample and span; wire latency dwarfs
+// the bookkeeping, so this tier is always on.
 func (p *peer) call(op Op, payload []byte) ([]byte, error) {
+	var start time.Time
+	if stats.Enabled() {
+		start = time.Now()
+	}
+	body, err := p.doCall(op, payload)
+	if !start.IsZero() {
+		d := time.Since(start)
+		name := "dfs." + op.String()
+		stats.Default.Histogram(name).Record(d)
+		stats.Trace.Record(name, p.boundary, start, d, int64(len(payload)+len(body)))
+	}
+	return body, err
+}
+
+func (p *peer) doCall(op Op, payload []byte) ([]byte, error) {
 	id := p.nextID.Add(1)
 	ch := make(chan frame, 1)
 	p.mu.Lock()

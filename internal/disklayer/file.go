@@ -73,7 +73,9 @@ func (f *diskFile) SetLength(length vm.Offset) error {
 
 // ReadAt implements fsys.File.
 func (f *diskFile) ReadAt(p []byte, off int64) (int, error) {
+	t := opRead.Start()
 	n, err := f.io.ReadAt(p, off)
+	opRead.End(t, int64(n))
 	if n > 0 {
 		f.touch(false)
 	}
@@ -82,7 +84,9 @@ func (f *diskFile) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements fsys.File.
 func (f *diskFile) WriteAt(p []byte, off int64) (int, error) {
+	t := opWrite.Start()
 	n, err := f.io.WriteAt(p, off)
+	opWrite.End(t, int64(n))
 	if n > 0 {
 		f.touch(true)
 	}
@@ -109,6 +113,8 @@ func (f *diskFile) touch(modified bool) {
 // Stat implements fsys.File. It is served from the i-node cache without
 // disk I/O.
 func (f *diskFile) Stat() (fsys.Attributes, error) {
+	t := opStat.Start()
+	defer opStat.End(t, 0)
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
 	ci, err := f.fs.readInode(f.ino)
@@ -159,6 +165,8 @@ func (p *diskPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, er
 	if !vm.PageAligned(offset, size) {
 		return nil, vm.ErrUnaligned
 	}
+	ot := opPageIn.Start()
+	defer func() { opPageIn.End(ot, size) }()
 	fs := p.file.fs
 	out := make([]byte, size)
 	fs.mu.Lock()
@@ -237,6 +245,8 @@ func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
 	if int64(len(data)) < size {
 		return fmt.Errorf("disklayer: short page-out data: %d < %d", len(data), size)
 	}
+	ot := opPageOut.Start()
+	defer func() { opPageOut.End(ot, size) }()
 	fs := p.file.fs
 	fs.mu.Lock()
 	ci, err := fs.readInode(p.file.ino)

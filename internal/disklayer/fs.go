@@ -9,7 +9,22 @@ import (
 	"springfs/internal/fsys"
 	"springfs/internal/naming"
 	"springfs/internal/spring"
+	"springfs/internal/stats"
 	"springfs/internal/vm"
+)
+
+// Instrumented operations (docs/OBSERVABILITY.md). The hot tier covers
+// operations the i-node and data caches usually absorb; the pager ops are
+// always-on because they do real (modelled) device I/O.
+var (
+	opOpen    = stats.NewHotOp("disk.open", stats.BoundaryDirect)
+	opResolve = stats.NewHotOp("disk.resolve", stats.BoundaryDirect)
+	opRead    = stats.NewHotOp("disk.read", stats.BoundaryDirect)
+	opWrite   = stats.NewHotOp("disk.write", stats.BoundaryDirect)
+	opStat    = stats.NewHotOp("disk.stat", stats.BoundaryDirect)
+
+	opPageIn  = stats.NewOp("disk.page_in", stats.BoundaryDirect)
+	opPageOut = stats.NewOp("disk.page_out", stats.BoundaryDirect)
 )
 
 // DiskFS is the disk layer: a stackable file system built directly on a
@@ -162,6 +177,8 @@ func (fs *DiskFS) Create(name string, cred naming.Credentials) (fsys.File, error
 
 // Open implements fsys.FS.
 func (fs *DiskFS) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	t := opOpen.Start()
+	defer opOpen.End(t, 0)
 	obj, err := fs.Resolve(name, cred)
 	if err != nil {
 		return nil, err
@@ -264,6 +281,8 @@ func (fs *DiskFS) dirForLocked(ino uint64) *diskDir {
 // Resolve implements naming.Context (the file system is its own root
 // directory context).
 func (fs *DiskFS) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	t := opResolve.Start()
+	defer opResolve.End(t, 0)
 	return fs.rootDir().Resolve(name, cred)
 }
 

@@ -13,6 +13,25 @@
 // expected; each side narrows the object it received to discover whether
 // it is talking to a file system or to a plain cache manager such as a
 // VMM.
+//
+// # Vocabulary
+//
+// The cache/pager vocabulary, as this package refines it:
+//
+//   - File: a memory object with ReadAt/WriteAt/Stat added. Its contents
+//     are reached by mapping or by Bind, never by paging operations on the
+//     file itself (Table 1).
+//   - FsPagerObject (fs_pager): a pager object extended with attribute
+//     operations; what a layer's Bind hands to the cache manager above it.
+//   - FsCacheObject (fs_cache): a cache object extended with attribute
+//     revocation; what a stacked layer offers the layer below so attribute
+//     caches stay coherent alongside data.
+//   - StackableFS: fs + naming context (Figure 8) — a layer that can be
+//     stacked on (StackOn) and composed into name spaces independently.
+//   - Creator: the stackable_fs_creator — the factory a node registers so
+//     stacks can be configured at run time (Section 4.4).
+//   - Connection / ConnectionTable: the pager side's record of each bound
+//     cache manager, keyed the way revocation call-outs need it.
 package fsys
 
 import (

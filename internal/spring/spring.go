@@ -244,6 +244,14 @@ type Channel struct {
 	server *Domain
 	path   Path
 
+	// spanName labels this channel's crossings in traces and histograms
+	// ("spring.<path>:<client>-><server>"); crossHist accumulates the pure
+	// hand-off cost (total invocation time minus the server-side execution
+	// time). Both are nil for same-domain channels, which cross nothing.
+	spanName  string
+	boundary  stats.Boundary
+	crossHist *stats.Histogram
+
 	// Calls counts invocations made through this channel regardless of
 	// path. CrossCalls counts only those that left the client domain.
 	Calls      stats.Counter
@@ -260,8 +268,14 @@ func Connect(client, server *Domain) *Channel {
 		c.path = PathSameDomain
 	case client.node == server.node:
 		c.path = PathCrossDomain
+		c.boundary = stats.BoundaryCrossDomain
 	default:
 		c.path = PathRemote
+		c.boundary = stats.BoundaryNetsim
+	}
+	if c.path != PathSameDomain {
+		c.spanName = "spring." + c.path.String() + ":" + client.name + "->" + server.name
+		c.crossHist = stats.Default.Histogram(c.spanName)
 	}
 	return c
 }
@@ -279,32 +293,60 @@ func (c *Channel) Server() *Domain { return c.server }
 // a plain call; for a cross-domain channel it is a hand-off to one of the
 // server domain's threads; for a remote channel network latency is charged
 // on the request and on the reply.
+//
+// While a tracing window is open, each crossing records a span covering
+// the whole invocation (server execution nests inside it by interval
+// containment) and a histogram sample of the pure hand-off cost — the
+// invocation time minus the server-side execution time. This is the
+// measurement Table 2's per-layer attribution hangs off: it isolates what
+// the domain boundary itself costs from what the layer does.
 func (c *Channel) Call(fn func()) {
 	c.Calls.Inc()
-	switch c.path {
-	case PathSameDomain:
+	if c.path == PathSameDomain {
 		fn()
+		return
+	}
+	c.CrossCalls.Inc()
+	var start time.Time
+	var exec time.Duration
+	run := fn
+	if stats.Enabled() && stats.Trace.Enabled() {
+		start = time.Now()
+		run = func() {
+			s := time.Now()
+			fn()
+			exec = time.Since(s)
+		}
+	}
+	switch c.path {
 	case PathCrossDomain:
-		c.CrossCalls.Inc()
-		if err := c.server.invoke(fn); err != nil {
+		if err := c.server.invoke(run); err != nil {
 			// The server domain has stopped (node shutdown). Degrade to a
 			// direct call so teardown paths (connection releases, cache
 			// flushes) can still complete instead of crashing unrelated
 			// goroutines.
-			fn()
+			run()
 		}
 	case PathRemote:
-		c.CrossCalls.Inc()
 		delay := c.client.node.NetworkDelay() + c.server.node.NetworkDelay()
 		if delay > 0 {
 			time.Sleep(delay) // request
 		}
-		if err := c.server.invoke(fn); err != nil {
-			fn()
+		if err := c.server.invoke(run); err != nil {
+			run()
 		}
 		if delay > 0 {
 			time.Sleep(delay) // reply
 		}
+	}
+	if !start.IsZero() {
+		total := time.Since(start)
+		cross := total - exec
+		if cross < 0 {
+			cross = 0
+		}
+		c.crossHist.Record(cross)
+		stats.Trace.Record(c.spanName, c.boundary, start, total, 0)
 	}
 }
 

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log₂ latency buckets. Bucket k counts
+// observations with 2^(k-1) ≤ d < 2^k nanoseconds (bucket 0 counts zero
+// durations), so 64 buckets cover every representable duration.
+const histBuckets = 64
+
+// Histogram is a lock-free latency histogram with fixed log₂ buckets.
+// Record is wait-free (one atomic add per field touched), so it is safe to
+// call from any number of goroutines on a hot path; quantile extraction
+// walks the buckets and is approximate to within one power of two, which
+// is the right resolution for attributing stacking costs that differ by
+// orders of magnitude (a procedure call vs a domain crossing vs a disk
+// I/O).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor returns the bucket index for duration d.
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d)) // 1..64 for d >= 1ns
+}
+
+// BucketUpper returns the exclusive upper bound of bucket k in
+// nanoseconds: observations in bucket k are < 2^k ns.
+func BucketUpper(k int) time.Duration {
+	if k <= 0 {
+		return 1
+	}
+	if k >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(int64(1) << uint(k))
+}
+
+// Record adds one observation of duration d.
+func (h *Histogram) Record(d time.Duration) {
+	k := bucketFor(d)
+	if k >= histBuckets {
+		k = histBuckets - 1
+	}
+	h.buckets[k].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Observe runs fn and records its wall-clock duration.
+func (h *Histogram) Observe(fn func()) {
+	start := time.Now()
+	fn()
+	h.Record(time.Since(start))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Total returns the accumulated duration (exact, not bucketed).
+func (h *Histogram) Total() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the exact mean observation, or zero if none were recorded.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// recorded observations: the upper bound of the first bucket whose
+// cumulative count reaches q·count. The bound is tight to within one
+// power of two. Concurrent writers may skew the answer by the
+// observations that land mid-walk; the error is bounded by their count.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for k := 0; k < histBuckets; k++ {
+		cum += h.buckets[k].Load()
+		if cum >= target {
+			return BucketUpper(k)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// P50 returns the median upper bound.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile upper bound.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile upper bound.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Reset clears the histogram. Not atomic with respect to concurrent
+// Records: observations racing a reset may be partially dropped.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for k := range h.buckets {
+		h.buckets[k].Store(0)
+	}
+}
+
+// HistogramStats is a point-in-time summary of a histogram.
+type HistogramStats struct {
+	Count int64
+	Total time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Stats summarises the histogram.
+func (h *Histogram) Stats() HistogramStats {
+	return HistogramStats{
+		Count: h.Count(),
+		Total: h.Total(),
+		Mean:  h.Mean(),
+		P50:   h.P50(),
+		P95:   h.P95(),
+		P99:   h.P99(),
+	}
+}
+
+// String renders the summary line plus a bar per non-empty bucket.
+func (h *Histogram) String() string {
+	s := h.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50<%v p95<%v p99<%v\n", s.Count, s.Mean, s.P50, s.P95, s.P99)
+	var max int64
+	var counts [histBuckets]int64
+	for k := range counts {
+		counts[k] = h.buckets[k].Load()
+		if counts[k] > max {
+			max = counts[k]
+		}
+	}
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * c / max)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  <%-10v %8d %s\n", BucketUpper(k), c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

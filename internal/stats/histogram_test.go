@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	h.Record(0)
+	h.Record(1)
+	h.Record(2)
+	h.Record(1000)
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Total(); got != 1003 {
+		t.Fatalf("Total = %v, want 1003ns", got)
+	}
+	if got := h.Mean(); got != 250 {
+		t.Fatalf("Mean = %v, want 250ns", got)
+	}
+}
+
+func TestBucketUpperMonotonic(t *testing.T) {
+	prev := time.Duration(0)
+	for k := 0; k < histBuckets; k++ {
+		u := BucketUpper(k)
+		if u <= prev && k > 0 {
+			t.Fatalf("BucketUpper(%d) = %v not above BucketUpper(%d) = %v", k, u, k-1, prev)
+		}
+		prev = u
+	}
+}
+
+// TestHistogramQuantileBound checks the core quantile contract on random
+// inputs: Quantile(q) is an upper bound on the true q-quantile, and the
+// bound is tight to within one power of two (the bucket width).
+func TestHistogramQuantileBound(t *testing.T) {
+	f := func(seed int64, nRaw uint8, qRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		q := float64(qRaw%100+1) / 100
+		rng := rand.New(rand.NewSource(seed))
+		h := &Histogram{}
+		ds := make([]time.Duration, n)
+		for i := range ds {
+			// Spread across many buckets: ns to ~1s.
+			ds[i] = time.Duration(rng.Int63n(int64(time.Second)))
+			h.Record(ds[i])
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		target := int(q * float64(n))
+		if target < 1 {
+			target = 1
+		}
+		exact := ds[target-1]
+		got := h.Quantile(q)
+		// Upper bound on the exact quantile...
+		if got < exact {
+			return false
+		}
+		// ...and tight to one bucket: the exact value's bucket upper bound.
+		return got <= BucketUpper(bucketFor(exact))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many goroutines
+// and verifies totals and quantiles are consistent afterwards. Run under
+// -race this doubles as the lock-freedom proof.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	h := &Histogram{}
+	const (
+		writers = 8
+		perG    = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Known distribution: half 100ns, half 10µs.
+				if i%2 == 0 {
+					h.Record(100 * time.Nanosecond)
+				} else {
+					h.Record(10 * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("Count = %d, want %d", got, writers*perG)
+	}
+	wantTotal := time.Duration(writers*perG/2) * (100*time.Nanosecond + 10*time.Microsecond)
+	if got := h.Total(); got != wantTotal {
+		t.Fatalf("Total = %v, want %v", got, wantTotal)
+	}
+	// Median falls in the 100ns bucket (64ns, 128ns]; p95/p99 in the 10µs
+	// bucket (8.2µs, 16.4µs].
+	if p50 := h.P50(); p50 != BucketUpper(bucketFor(100*time.Nanosecond)) {
+		t.Errorf("P50 = %v, want %v", p50, BucketUpper(bucketFor(100*time.Nanosecond)))
+	}
+	for _, q := range []float64{0.95, 0.99} {
+		if got := h.Quantile(q); got != BucketUpper(bucketFor(10*time.Microsecond)) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, BucketUpper(bucketFor(10*time.Microsecond)))
+		}
+	}
+}
+
+// TestHistogramQuantileDuringWrites reads quantiles while writers are
+// recording; the answers must stay within the recorded value range (no torn
+// garbage), which is the documented concurrent-read guarantee.
+func TestHistogramQuantileDuringWrites(t *testing.T) {
+	h := &Histogram{}
+	h.Record(time.Microsecond) // non-empty so quantiles never see n=0 mid-test
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(time.Microsecond)
+				}
+			}
+		}()
+	}
+	lo, hi := BucketUpper(bucketFor(time.Microsecond)-1), BucketUpper(bucketFor(time.Microsecond))
+	for i := 0; i < 1000; i++ {
+		if got := h.P50(); got < lo || got > hi {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("P50 = %v during writes, want in (%v, %v]", got, lo, hi)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := &Histogram{}
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Total() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("Reset left state: count=%d total=%v p50=%v", h.Count(), h.Total(), h.Quantile(0.5))
+	}
+}
+
+func TestRegistryExport(t *testing.T) {
+	var r Registry
+	r.Counter("c").Add(7)
+	r.Histogram("h").Record(time.Microsecond)
+	r.Histogram("empty") // zero observations: excluded from export
+	s := r.Export()
+	if s.Counters["c"] != 7 {
+		t.Fatalf("Counters[c] = %d, want 7", s.Counters["c"])
+	}
+	if _, ok := s.Histograms["empty"]; ok {
+		t.Fatal("empty histogram exported")
+	}
+	if got := s.Histograms["h"].Count; got != 1 {
+		t.Fatalf("Histograms[h].Count = %d, want 1", got)
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// disabled kills all instrumentation when set (the zero value means
+// observability is on, matching the pre-existing always-on counters).
+var disabled atomic.Bool
+
+// SetEnabled turns the whole observability surface (histograms, spans) on
+// or off. Counters are not gated; they predate this switch and tests rely
+// on them unconditionally.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether instrumentation is collecting.
+func Enabled() bool { return !disabled.Load() }
+
+// Op is one instrumented call site: a named histogram in the Default
+// registry plus the metadata needed to emit trace spans. Construct Ops as
+// package-level vars so the registry lookup happens once, not per call.
+//
+// Two tiers (see docs/OBSERVABILITY.md):
+//
+//   - NewOp sites are always-on: every call records into the histogram.
+//     Use them on paths whose own cost dwarfs two clock reads — page
+//     faults, device I/O, wire round trips, coherency revocations.
+//
+//   - NewHotOp sites record only while the default tracer is enabled.
+//     Use them on cached hot paths (a cached 4KB read costs a few µs;
+//     unconditional timestamping there would be a measurable tax). When a
+//     tracing window is open they populate both the histogram and the
+//     span ring, so per-layer attribution is available exactly when
+//     someone is looking.
+type Op struct {
+	name     string
+	boundary Boundary
+	hot      bool
+	hist     *Histogram
+}
+
+// NewOp registers an always-on instrumented operation named name (by the
+// `layer.op` convention) in the Default registry.
+func NewOp(name string, b Boundary) *Op {
+	return &Op{name: name, boundary: b, hist: Default.Histogram(name)}
+}
+
+// NewHotOp registers a hot-path operation that records only while the
+// default tracer is enabled.
+func NewHotOp(name string, b Boundary) *Op {
+	o := NewOp(name, b)
+	o.hot = true
+	return o
+}
+
+// Name returns the op's histogram/span name.
+func (o *Op) Name() string { return o.name }
+
+// OpTimer is the start token returned by Op.Start. The zero value means
+// "not recording"; End on it is a no-op.
+type OpTimer struct {
+	start time.Time
+}
+
+// Start begins timing one execution of the operation. It returns the zero
+// OpTimer (and takes no timestamp) when recording is off.
+func (o *Op) Start() OpTimer {
+	if disabled.Load() {
+		return OpTimer{}
+	}
+	if o.hot && !Trace.enabled.Load() {
+		return OpTimer{}
+	}
+	return OpTimer{start: time.Now()}
+}
+
+// End completes the timing begun by Start, recording the duration into the
+// op's histogram and, when tracing is enabled, a span with the given
+// payload size.
+func (o *Op) End(t OpTimer, bytes int64) {
+	if t.start.IsZero() {
+		return
+	}
+	d := time.Since(t.start)
+	o.hist.Record(d)
+	Trace.Record(o.name, o.boundary, t.start, d, bytes)
+}

@@ -73,12 +73,13 @@ func (t *Timer) Reset() {
 	t.count.Store(0)
 }
 
-// Registry is a named collection of counters and timers. The zero value is
-// ready to use.
+// Registry is a named collection of counters, timers, and latency
+// histograms. The zero value is ready to use.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -112,7 +113,35 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
-// ResetAll resets every counter and timer in the registry.
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Histograms returns the registered histograms keyed by name (the map is a
+// copy; the histogram pointers are live).
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h
+	}
+	return out
+}
+
+// ResetAll resets every counter, timer, and histogram in the registry.
 func (r *Registry) ResetAll() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -121,6 +150,9 @@ func (r *Registry) ResetAll() {
 	}
 	for _, t := range r.timers {
 		t.Reset()
+	}
+	for _, h := range r.histograms {
+		h.Reset()
 	}
 }
 
@@ -157,7 +189,48 @@ func (r *Registry) String() string {
 		t := r.timers[name]
 		fmt.Fprintf(&b, "%-40s mean=%v n=%d\n", name, t.Mean(), t.Count())
 	}
+	var hnames []string
+	for name, h := range r.histograms {
+		if h.Count() == 0 {
+			continue
+		}
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		s := r.histograms[name].Stats()
+		fmt.Fprintf(&b, "%-40s n=%-8d mean=%-10v p50<%-10v p95<%-10v p99<%v\n",
+			name, s.Count, s.Mean, s.P50, s.P95, s.P99)
+	}
 	return b.String()
+}
+
+// Snapshot is a point-in-time export of a registry: every counter value
+// and a summary of every non-empty histogram. It is the programmatic ops
+// surface behind springfs.Node.Snapshot.
+type Snapshot struct {
+	Counters   map[string]int64
+	Histograms map[string]HistogramStats
+}
+
+// Export captures a full snapshot of the registry.
+func (r *Registry) Export() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramStats, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.histograms {
+		if h.Count() == 0 {
+			continue
+		}
+		s.Histograms[name] = h.Stats()
+	}
+	return s
 }
 
 // Default is the process-wide registry used when no explicit registry is

@@ -23,6 +23,24 @@
 //
 // The cache object and pager object interfaces below transcribe Appendix A
 // and Appendix B of the paper.
+//
+// # Vocabulary
+//
+// The package's terms, as its own types use them:
+//
+//   - MemoryObject: mappable store — length operations plus Bind; no data
+//     operations. A file is one (fsys.File embeds it).
+//   - PagerObject: the provider half of a connection — PageIn, PageOut,
+//     Sync, WriteOut. Obtained from Bind, never constructed directly.
+//   - CacheObject: the consumer half — the provider calls FlushBack,
+//     DenyWrites, DeleteRange against whoever holds cached pages.
+//   - CacheManager: anything that offers a CacheObject when it binds; the
+//     per-node VMM is one, a stacked layer (COMPFS, coherency) is another.
+//   - CacheRights: the revocable token Bind returns; Narrow-able proof of
+//     an established connection.
+//   - VMM / FileCache / Mapping: this package's cache manager — per-node
+//     page caches over any pager, plus mapped-file views for address
+//     spaces.
 package vm
 
 import (

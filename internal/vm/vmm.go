@@ -41,6 +41,17 @@ type lruKey struct {
 	pn int64
 }
 
+// Instrumented operations (docs/OBSERVABILITY.md). These are fault-path
+// sites — a cached read or write touches none of them — so they are
+// always-on: the cost of two clock reads vanishes against a page-in. Any
+// domain crossing the pager invocation makes appears as a nested
+// spring.* span, so these record with the direct boundary.
+var (
+	opBind    = stats.NewOp("vmm.bind", stats.BoundaryDirect)
+	opPageIn  = stats.NewOp("vmm.page_in", stats.BoundaryDirect)
+	opPageOut = stats.NewOp("vmm.page_out", stats.BoundaryDirect)
+)
+
 // New creates a VMM served by domain.
 func New(domain *spring.Domain, name string) *VMM {
 	return &VMM{
@@ -94,7 +105,9 @@ func (v *VMM) NewConnection(pager PagerObject) (CacheObject, CacheRights) {
 // pager-cache connection (two equivalent memory objects share cached
 // pages) or performs the object exchange through NewConnection.
 func (v *VMM) Map(mobj MemoryObject, access Rights) (*Mapping, error) {
+	t := opBind.Start()
 	rights, err := mobj.Bind(v, access, 0, 0)
+	opBind.End(t, 0)
 	if err != nil {
 		return nil, fmt.Errorf("vm: bind failed: %w", err)
 	}
@@ -256,6 +269,18 @@ func (fc *FileCache) PageRights(pn int64) (Rights, bool) {
 	return p.rights, true
 }
 
+// pageOut writes one page of data back to the pager at pn, recording the
+// vmm.page_out op and the PageOuts counter on success.
+func (fc *FileCache) pageOut(pn int64, data []byte) error {
+	t := opPageOut.Start()
+	err := fc.pager.PageOut(pn*PageSize, PageSize, data)
+	opPageOut.End(t, int64(len(data)))
+	if err == nil {
+		fc.vmm.PageOuts.Inc()
+	}
+	return err
+}
+
 // ensure returns page pn with at least the requested rights, faulting it in
 // from the pager if necessary. The fault protocol: a faulting placeholder
 // is installed under the lock, the page-in happens with the lock released
@@ -295,11 +320,10 @@ func (fc *FileCache) ensure(pn int64, want Rights) (*page, error) {
 			fc.vmm.forget(fc, pn)
 			fc.mu.Unlock()
 			if dirtyData {
-				if err := fc.pager.PageOut(pn*PageSize, PageSize, dataCopy); err != nil {
+				if err := fc.pageOut(pn, dataCopy); err != nil {
 					fc.abortFault(pn)
 					return nil, err
 				}
-				fc.vmm.PageOuts.Inc()
 			}
 			goto fault
 		}
@@ -333,6 +357,7 @@ func (fc *FileCache) fault(pn int64, want Rights) (p *page, retry bool, err erro
 	fc.mu.Unlock()
 
 	var data []byte
+	t := opPageIn.Start()
 	if ra > 0 {
 		if hp, ok := spring.Narrow[HintedPager](fc.pager); ok {
 			data, err = hp.PageInHint(pn*PageSize, PageSize, Offset(ra+1)*PageSize, want)
@@ -342,6 +367,7 @@ func (fc *FileCache) fault(pn int64, want Rights) (p *page, retry bool, err erro
 	} else {
 		data, err = fc.pager.PageIn(pn*PageSize, PageSize, want)
 	}
+	opPageIn.End(t, int64(len(data)))
 	if err != nil {
 		fc.abortFault(pn)
 		return nil, false, err
@@ -419,7 +445,7 @@ func (fc *FileCache) evict(pn int64) bool {
 	fc.vmm.forget(fc, pn)
 	fc.mu.Unlock()
 	if p.dirty {
-		if err := fc.pager.PageOut(pn*PageSize, PageSize, p.data); err != nil {
+		if err := fc.pageOut(pn, p.data); err != nil {
 			// Reinstall rather than lose modified data.
 			fc.mu.Lock()
 			if _, exists := fc.pages[pn]; !exists && !fc.destroyed {
@@ -429,7 +455,6 @@ func (fc *FileCache) evict(pn int64) bool {
 			fc.mu.Unlock()
 			return false
 		}
-		fc.vmm.PageOuts.Inc()
 	}
 	fc.vmm.Evictions.Inc()
 	return true
@@ -719,7 +744,10 @@ func (m *Mapping) Sync() error {
 		data := make([]byte, PageSize)
 		copy(data, p.data)
 		fc.mu.Unlock()
-		if err := fc.pager.Sync(pn*PageSize, PageSize, data); err != nil {
+		t := opPageOut.Start()
+		err := fc.pager.Sync(pn*PageSize, PageSize, data)
+		opPageOut.End(t, PageSize)
+		if err != nil {
 			return err
 		}
 		fc.vmm.PageOuts.Inc()
@@ -771,10 +799,9 @@ func (v *VMM) DropCaches() error {
 		fc.mu.Unlock()
 		sort.Slice(dirty, func(i, j int) bool { return dirty[i].pn < dirty[j].pn })
 		for _, d := range dirty {
-			if err := fc.pager.PageOut(d.pn*PageSize, PageSize, d.data); err != nil {
+			if err := fc.pageOut(d.pn, d.data); err != nil {
 				return err
 			}
-			v.PageOuts.Inc()
 		}
 	}
 	return nil

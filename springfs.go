@@ -47,6 +47,7 @@ import (
 	"springfs/internal/naming"
 	"springfs/internal/netsim"
 	"springfs/internal/spring"
+	"springfs/internal/stats"
 	"springfs/internal/unixapi"
 	"springfs/internal/vm"
 )
@@ -172,6 +173,22 @@ func must(err error) {
 
 // Name returns the node name.
 func (n *Node) Name() string { return n.name }
+
+// StatsSnapshot is a point-in-time export of the observability registry:
+// every counter value plus count/mean/p50/p95/p99 for every non-empty
+// latency histogram, keyed by the `layer.op` names documented in
+// docs/OBSERVABILITY.md.
+type StatsSnapshot = stats.Snapshot
+
+// Snapshot exports the current observability state. The registry is
+// process-wide (layer instrumentation records into one shared registry
+// regardless of which simulated node it serves), so in multi-node processes
+// the snapshot covers all nodes.
+func (n *Node) Snapshot() StatsSnapshot { return stats.Default.Export() }
+
+// ResetStats zeroes every counter and histogram in the observability
+// registry, starting a fresh measurement interval.
+func (n *Node) ResetStats() { stats.Default.ResetAll() }
 
 // Stop shuts the node's domains down.
 func (n *Node) Stop() { n.node.Stop() }

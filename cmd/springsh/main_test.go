@@ -1,9 +1,11 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"springfs"
+	"springfs/internal/stats"
 )
 
 // drive runs a scripted session against a fresh node.
@@ -123,5 +125,17 @@ func TestWatchCommand(t *testing.T) {
 	}
 	if string(got) != "important data" {
 		t.Errorf("read = %q", got)
+	}
+}
+
+func TestStatsShowDFSFailureCounters(t *testing.T) {
+	// The failure counters are registered eagerly, so `stats` lists them
+	// (at zero) even before any timeout or retry has happened.
+	drive(t, "newsfs sfs0a", "stats")
+	out := stats.Default.String()
+	for _, name := range []string{"dfs.retry", "dfs.timeout"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("stats output missing %s:\n%s", name, out)
+		}
 	}
 }

@@ -3,7 +3,9 @@ package springfs
 import (
 	"errors"
 	"io"
+	"os"
 	"testing"
+	"time"
 
 	"springfs/internal/blockdev"
 	"springfs/internal/vm"
@@ -149,5 +151,76 @@ func TestIntermittentFailureUnderLoad(t *testing.T) {
 	}
 	if err := sfs.Disk.CheckConsistency(); err != nil {
 		t.Errorf("fsck after intermittent failures: %v", err)
+	}
+}
+
+// TestDFSPartitionTimesOutAndRecovers partitions the simulated network the
+// way real partitions happen — frames silently vanish — and verifies a
+// remote read fails with a deadline error within twice the configured call
+// timeout, then succeeds again once the network heals.
+func TestDFSPartitionTimesOutAndRecovers(t *testing.T) {
+	home := NewNode("dfs-home")
+	defer home.Stop()
+	sfs, err := home.NewSFS("sfs0a", DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := NewNetwork(LANInstant)
+	l, err := network.Listen("home:dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := home.ServeDFS("dfs", sfs.FS(), l); err != nil {
+		t.Fatal(err)
+	}
+	clientNode := NewNode("dfs-client")
+	defer clientNode.Stop()
+	conn, err := network.Dial("home:dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := clientNode.DialDFS(conn, "c1")
+	defer c.Close()
+
+	f, err := c.Create("wan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("over the wire")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const timeout = 300 * time.Millisecond
+	c.SetCallTimeout(timeout)
+	network.SetFaults(NetFaults{DropProb: 1})
+	defer network.SetFaults(NetFaults{})
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := f.ReadAt(make([]byte, len(msg)), 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if elapsed := time.Since(start); elapsed > 2*timeout {
+			t.Errorf("read unblocked after %v, want <= %v", elapsed, 2*timeout)
+		}
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Errorf("read during partition = %v, want deadline error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read during partition hung")
+	}
+
+	// Heal: the same handle works again.
+	network.SetFaults(NetFaults{})
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Errorf("after heal = %q, want %q", got, msg)
 	}
 }

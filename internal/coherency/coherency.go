@@ -66,6 +66,13 @@ import (
 // BlockSize is the coherency protocol's block granularity; one VM page.
 const BlockSize = vm.PageSize
 
+// ErrHolderUnreachable is returned by a page-in whose revocation found a
+// write-holding cache that can no longer be reached (a dead remote
+// client): the holder has been dropped from the block, so a retry
+// proceeds, but its unflushed modifications may be lost and the caller
+// must not assume it read the latest data silently.
+var ErrHolderUnreachable = fmt.Errorf("coherency: write-holding cache unreachable, holder dropped (%w)", fsys.ErrUnavailable)
+
 // Instrumented operations (see docs/OBSERVABILITY.md for the two tiers).
 // The hot ops sit on cached paths and record only during a tracing window;
 // the always-on ops mark traffic to the lower layer and coherency
@@ -103,6 +110,9 @@ type CohFS struct {
 	LowerPageIns  stats.Counter
 	LowerPageOuts stats.Counter
 	Revocations   stats.Counter
+	// LostHolders counts revocations that found the holder unreachable
+	// and dropped it (graceful degradation instead of wedging the block).
+	LostHolders stats.Counter
 }
 
 var (

@@ -194,9 +194,22 @@ func (f *cohFile) absorb(b *blockState, pn int64, datas []vm.Data) {
 	}
 }
 
+// unreachableHolder reports whether a cache object crossed a network
+// boundary and can no longer be revoked (see vm.UnreachableCache). Its
+// empty revocation result then means "holder gone", not "nothing dirty".
+func unreachableHolder(c vm.CacheObject) bool {
+	u, ok := spring.Narrow[vm.UnreachableCache](c)
+	return ok && u.Unreachable()
+}
+
 // revokeForWrite removes every other holder of block pn, reconciling
 // modified data. Caller holds busy. Upward call-outs only.
-func (f *cohFile) revokeForWrite(b *blockState, pn int64, requester *fsys.Connection) {
+//
+// A write-holding cache that turns out to be unreachable is dropped like
+// any other holder, but its unflushed modifications are lost; lost reports
+// that, so the caller can surface an error instead of silently serving the
+// last copy this layer has.
+func (f *cohFile) revokeForWrite(b *blockState, pn int64, requester *fsys.Connection) (lost bool) {
 	off := pn * BlockSize
 	for h, r := range b.holders {
 		if h == requester {
@@ -205,6 +218,10 @@ func (f *cohFile) revokeForWrite(b *blockState, pn int64, requester *fsys.Connec
 		t := opRevoke.Start()
 		if r.CanWrite() {
 			f.absorb(b, pn, h.Cache.FlushBack(off, BlockSize))
+			if unreachableHolder(h.Cache) {
+				lost = true
+				f.fs.LostHolders.Inc()
+			}
 		} else {
 			h.Cache.DeleteRange(off, BlockSize)
 		}
@@ -212,10 +229,12 @@ func (f *cohFile) revokeForWrite(b *blockState, pn int64, requester *fsys.Connec
 		delete(b.holders, h)
 		f.fs.Revocations.Inc()
 	}
+	return lost
 }
 
-// revokeForRead downgrades any writer of block pn. Caller holds busy.
-func (f *cohFile) revokeForRead(b *blockState, pn int64, requester *fsys.Connection) {
+// revokeForRead downgrades any writer of block pn. Caller holds busy. An
+// unreachable writer cannot be downgraded and is removed outright.
+func (f *cohFile) revokeForRead(b *blockState, pn int64, requester *fsys.Connection) (lost bool) {
 	off := pn * BlockSize
 	for h, r := range b.holders {
 		if h == requester || !r.CanWrite() {
@@ -224,9 +243,16 @@ func (f *cohFile) revokeForRead(b *blockState, pn int64, requester *fsys.Connect
 		t := opRevoke.Start()
 		f.absorb(b, pn, h.Cache.DenyWrites(off, BlockSize))
 		opRevoke.End(t, BlockSize)
-		b.holders[h] = vm.RightsRead
+		if unreachableHolder(h.Cache) {
+			lost = true
+			f.fs.LostHolders.Inc()
+			delete(b.holders, h)
+		} else {
+			b.holders[h] = vm.RightsRead
+		}
 		f.fs.Revocations.Inc()
 	}
+	return lost
 }
 
 // maxRights merges an existing holding with a new grant.
@@ -240,10 +266,18 @@ func maxRights(a, b vm.Rights) vm.Rights {
 func (f *cohFile) pageInBlock(conn *fsys.Connection, pn int64, access vm.Rights) ([]byte, error) {
 	for {
 		b := f.acquire(pn)
+		var lost bool
 		if access.CanWrite() {
-			f.revokeForWrite(b, pn, conn)
+			lost = f.revokeForWrite(b, pn, conn)
 		} else {
-			f.revokeForRead(b, pn, conn)
+			lost = f.revokeForRead(b, pn, conn)
+		}
+		if lost {
+			// The dead holder is already removed, so a retry proceeds
+			// normally; this attempt fails so the caller learns that
+			// unflushed remote modifications may be gone.
+			f.release(b)
+			return nil, ErrHolderUnreachable
 		}
 		if b.valid {
 			out := make([]byte, BlockSize)

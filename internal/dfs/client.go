@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"springfs/internal/fsys"
 	"springfs/internal/naming"
@@ -49,8 +50,24 @@ func NewClient(conn net.Conn, domain *spring.Domain, name string) *Client {
 	return c
 }
 
-// Close drops the connection.
-func (c *Client) Close() error { return c.peer.Close() }
+// Close detaches from the server and drops the connection. The detach
+// releases this client's coherency holdings at the server synchronously,
+// so local writers on the home node proceed immediately instead of paying
+// a revocation timeout against a departed client. If the server is already
+// unreachable the detach fails fast (or times out) and the connection is
+// torn down regardless.
+func (c *Client) Close() error {
+	if !c.peer.isClosed() {
+		_, _ = c.peer.call(OpDetach, nil) // best effort: server may be gone
+	}
+	return c.peer.Close()
+}
+
+// SetCallTimeout bounds each protocol round trip issued by this client
+// (default DefaultCallTimeout). It should stay above the server's callback
+// timeout: a client op can nest a coherency callback to another client, and
+// the outer deadline has to outlive the inner one. Zero disables the bound.
+func (c *Client) SetCallTimeout(d time.Duration) { c.peer.setTimeout(d) }
 
 // call issues one protocol request.
 func (c *Client) call(op Op, payload []byte) ([]byte, error) {
@@ -326,6 +343,12 @@ func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
 	if d.err != nil {
 		return 0, d.err
 	}
+	if len(data) > len(p) {
+		// A reply longer than the request is a protocol violation; copying
+		// a truncated prefix would silently hand the caller short data
+		// counted as a full read.
+		return 0, fmt.Errorf("%w: read reply %d bytes for %d requested", ErrProtocol, len(data), len(p))
+	}
 	n := copy(p, data)
 	if eof {
 		return n, io.EOF
@@ -335,7 +358,6 @@ func (f *RemoteFile) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements fsys.File.
 func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
-	f.attrs.Invalidate()
 	var e encoder
 	e.u64(f.id)
 	e.i64(off)
@@ -344,6 +366,10 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Invalidate only after the server applied the write: a failed call
+	// leaves the remote attributes unchanged, and dropping the cache on
+	// failure would discard locally buffered dirty attributes for nothing.
+	f.attrs.Invalidate()
 	d := decoder{b: body}
 	n := int(d.u32())
 	return n, d.err

@@ -1,0 +1,228 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"springfs/internal/coherency"
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/netsim"
+	"springfs/internal/vm"
+)
+
+// Failure-path tests: every fault must surface as a bounded error, never as
+// a hang. Hanging cases are run under a watchdog so a regression fails fast
+// instead of timing the whole test binary out.
+
+type opResult struct {
+	err     error
+	elapsed time.Duration
+}
+
+// TestBlackholePartitionTimesOutWithinTwiceDeadline cuts the link the way a
+// real partition does — frames silently vanish, sends still "succeed" — and
+// verifies a read unblocks with a deadline error within twice the
+// configured call timeout (retries are budgeted inside the deadline, not on
+// top of it).
+func TestBlackholePartitionTimesOutWithinTwiceDeadline(t *testing.T) {
+	r := newRig(t)
+	remote := r.newRemote("remote1")
+	f, err := remote.client.Create("blackhole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("pre-partition"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const timeout = 300 * time.Millisecond
+	remote.client.SetCallTimeout(timeout)
+	timeoutsBefore := timeoutCounter.Value()
+	r.network.SetFaults(netsim.Faults{DropProb: 1})
+	defer r.network.SetFaults(netsim.Faults{})
+
+	done := make(chan opResult, 1)
+	go func() {
+		start := time.Now()
+		_, err := f.ReadAt(make([]byte, 13), 0)
+		done <- opResult{err, time.Since(start)}
+	}()
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, os.ErrDeadlineExceeded) {
+			t.Errorf("read during partition = %v, want deadline error", res.err)
+		}
+		if !errors.Is(res.err, fsys.ErrUnavailable) {
+			t.Errorf("read error %v does not wrap fsys.ErrUnavailable", res.err)
+		}
+		if res.elapsed > 2*timeout {
+			t.Errorf("read unblocked after %v, want <= %v", res.elapsed, 2*timeout)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read during partition hung")
+	}
+	if timeoutCounter.Value() == timeoutsBefore {
+		t.Error("dfs.timeout counter did not move")
+	}
+}
+
+// TestIdempotentReadRetriesAcrossFrameDrop loses exactly one frame and
+// verifies the read succeeds transparently on a retry.
+func TestIdempotentReadRetriesAcrossFrameDrop(t *testing.T) {
+	r := newRig(t)
+	remote := r.newRemote("remote1")
+	f, err := remote.client.Create("lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("survives a drop")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	remote.client.SetCallTimeout(900 * time.Millisecond)
+	retriesBefore := retryCounter.Value()
+	r.network.DropNext(1)
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("read across a dropped frame: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read = %q, want %q", got, msg)
+	}
+	if retryCounter.Value() == retriesBefore {
+		t.Error("dfs.retry counter did not move")
+	}
+	if r.network.Drops.Value() == 0 {
+		t.Error("the injected drop never fired")
+	}
+}
+
+// TestNonIdempotentWriteFailsFastWithoutRetry drops a write's request
+// frame: the write must fail with a deadline error after a single attempt
+// (it may have been applied, so resending is not safe) and must not be
+// silently re-applied.
+func TestNonIdempotentWriteFailsFastWithoutRetry(t *testing.T) {
+	r := newRig(t)
+	remote := r.newRemote("remote1")
+	f, err := remote.client.Create("at-most-once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("original!"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const timeout = 300 * time.Millisecond
+	remote.client.SetCallTimeout(timeout)
+	retriesBefore := retryCounter.Value()
+	r.network.DropNext(1)
+	start := time.Now()
+	_, err = f.WriteAt([]byte("LOST!!!!!"), 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("write with dropped frame = %v, want deadline error", err)
+	}
+	if elapsed > 2*timeout {
+		t.Errorf("write unblocked after %v, want <= %v", elapsed, 2*timeout)
+	}
+	if retryCounter.Value() != retriesBefore {
+		t.Error("non-idempotent write was retried")
+	}
+	// Only the one frame was lost; the link is healthy again and the file
+	// still holds the pre-fault data.
+	got := make([]byte, 9)
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "original!" {
+		t.Errorf("after lost write = %q, want %q", got, "original!")
+	}
+}
+
+// TestPartitionDuringRevocationUnblocksLocalWriter is the satellite (e)
+// scenario: a remote client holds a dirty page when the network goes dark,
+// so the server's flush_back callback can only time out. The local writer
+// must unblock with an error (the dirty holder is dropped rather than
+// wedging the block forever), and after the network heals the block is
+// writable and consistent again.
+func TestPartitionDuringRevocationUnblocksLocalWriter(t *testing.T) {
+	r := newRig(t)
+	// Keep the test fast: callbacks to clients connected after this point
+	// give up after 300ms.
+	r.srv.SetCallbackTimeout(300 * time.Millisecond)
+	remote := r.newRemote("remote1")
+
+	local, err := r.srv.Create("contested", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.SetLength(vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := remote.client.Open("contested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmap, err := remote.vmm.Map(rf, vm.RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rmap.WriteAt([]byte("remote dirty.."), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The holder goes dark mid-revocation: frames silently vanish.
+	r.network.SetFaults(netsim.Faults{DropProb: 1})
+	defer r.network.SetFaults(netsim.Faults{})
+	lostBefore := r.sfs.LostHolders.Value()
+
+	done := make(chan opResult, 1)
+	go func() {
+		start := time.Now()
+		_, err := local.WriteAt([]byte("local update.."), 0)
+		done <- opResult{err, time.Since(start)}
+	}()
+	select {
+	case res := <-done:
+		if res.err == nil {
+			t.Fatal("local write succeeded while the dirty holder was unreachable")
+		}
+		if !errors.Is(res.err, coherency.ErrHolderUnreachable) {
+			t.Errorf("local write error = %v, want ErrHolderUnreachable", res.err)
+		}
+		if res.elapsed > 2*time.Second {
+			t.Errorf("local writer unblocked only after %v", res.elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("local writer wedged behind a dead holder")
+	}
+	if r.sfs.LostHolders.Value() == lostBefore {
+		t.Error("coherency LostHolders counter did not move")
+	}
+
+	// Heal. The dead holder was dropped, so the write now proceeds, and a
+	// fresh client observes the local data (the unreachable holder's dirty
+	// page is necessarily lost).
+	r.network.SetFaults(netsim.Faults{})
+	if _, err := local.WriteAt([]byte("local update.."), 0); err != nil {
+		t.Fatalf("local write after heal: %v", err)
+	}
+	remote2 := r.newRemote("remote2")
+	f2, err := remote2.client.Open("contested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 14)
+	if _, err := f2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "local update.." {
+		t.Errorf("after heal = %q, want %q", got, "local update..")
+	}
+}

@@ -373,6 +373,13 @@ func (c *srvClient) handle(op Op, payload []byte) ([]byte, error) {
 		}
 		return nil, nil
 
+	case OpDetach:
+		// Graceful goodbye: release every session before the client drops
+		// the connection. teardown is idempotent, so the connection-close
+		// path running it again later is harmless.
+		c.teardown()
+		return nil, nil
+
 	default:
 		return nil, &ErrRemote{Msg: "unknown operation " + op.String()}
 	}

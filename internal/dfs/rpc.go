@@ -2,15 +2,44 @@ package dfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"springfs/internal/fsys"
 	"springfs/internal/netsim"
 	"springfs/internal/stats"
+)
+
+// Failure-handling defaults. Every call carries a deadline so a partitioned
+// or hung peer surfaces as an error instead of wedging the caller — the
+// paper assumes invocations complete; a distributed stack cannot.
+const (
+	// DefaultCallTimeout bounds client-issued calls. It must exceed
+	// DefaultCallbackTimeout: serving a client op on the server may nest a
+	// coherency callback to another client, and the outer call has to
+	// outlive the inner one or every revocation races its own caller.
+	DefaultCallTimeout = 5 * time.Second
+	// DefaultCallbackTimeout bounds server-to-client coherency callbacks.
+	DefaultCallbackTimeout = 2 * time.Second
+	// maxAttempts is the total number of tries for an idempotent op
+	// (1 initial + 2 retries).
+	maxAttempts = 3
+	// retryBackoff is the initial delay before a retry; it doubles each
+	// attempt.
+	retryBackoff = 25 * time.Millisecond
+)
+
+// Package-level failure counters, registered eagerly so `springsh stats`
+// shows them even before the first timeout.
+var (
+	retryCounter   = stats.Default.Counter("dfs.retry")
+	timeoutCounter = stats.Default.Counter("dfs.timeout")
 )
 
 // peer is one end of a full-duplex DFS protocol connection. Both sides can
@@ -38,6 +67,20 @@ type peer struct {
 	handler func(op Op, payload []byte) ([]byte, error)
 
 	onClose func(err error)
+
+	// timeout bounds each call round trip, in nanoseconds (atomic so
+	// SetCallTimeout races cleanly with in-flight calls). Zero disables.
+	timeout atomic.Int64
+}
+
+// setTimeout installs the per-call deadline.
+func (p *peer) setTimeout(d time.Duration) { p.timeout.Store(int64(d)) }
+
+// isClosed reports whether the connection has torn down.
+func (p *peer) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // newPeer wraps conn and starts the read loop. onClose (optional) runs
@@ -54,28 +97,25 @@ func newPeer(conn net.Conn, handler func(op Op, payload []byte) ([]byte, error),
 	if _, ok := conn.(*netsim.Conn); ok {
 		p.boundary = stats.BoundaryNetsim
 	}
+	p.setTimeout(DefaultCallTimeout)
 	go p.readLoop()
 	return p
 }
 
-// writeFrame sends one frame.
+// writeFrame sends one frame as a single Write. One Write is one netsim
+// message, so an injected drop loses a whole frame and the stream framing
+// of later traffic survives — which is what makes retry meaningful.
 func (p *peer) writeFrame(f frame) error {
-	hdr := make([]byte, 4+1+1+8)
-	binary.BigEndian.PutUint32(hdr, uint32(1+1+8+len(f.payload)))
-	hdr[4] = f.kind
-	hdr[5] = uint8(f.op)
-	binary.BigEndian.PutUint64(hdr[6:], f.id)
+	buf := make([]byte, 4+1+1+8+len(f.payload))
+	binary.BigEndian.PutUint32(buf, uint32(1+1+8+len(f.payload)))
+	buf[4] = f.kind
+	buf[5] = uint8(f.op)
+	binary.BigEndian.PutUint64(buf[6:], f.id)
+	copy(buf[14:], f.payload)
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
-	if _, err := p.conn.Write(hdr); err != nil {
-		return err
-	}
-	if len(f.payload) > 0 {
-		if _, err := p.conn.Write(f.payload); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := p.conn.Write(buf)
+	return err
 }
 
 // readFrame reads one frame.
@@ -140,15 +180,18 @@ func (p *peer) serve(f frame) {
 	_ = p.writeFrame(frame{kind: kindResponse, op: f.op, id: f.id, payload: e.b})
 }
 
-// call issues a request and waits for the matching response. Each round
-// trip records a `dfs.<op>` histogram sample and span; wire latency dwarfs
-// the bookkeeping, so this tier is always on.
+// call issues a request and waits for the matching response, bounded by
+// the peer's timeout. Timed-out idempotent ops are retried with
+// exponential backoff (the response frame may simply have been lost);
+// non-idempotent ops fail immediately because the first attempt may have
+// been applied. Each round trip records a `dfs.<op>` histogram sample and
+// span; wire latency dwarfs the bookkeeping, so this tier is always on.
 func (p *peer) call(op Op, payload []byte) ([]byte, error) {
 	var start time.Time
 	if stats.Enabled() {
 		start = time.Now()
 	}
-	body, err := p.doCall(op, payload)
+	body, err := p.callWithRetry(op, payload)
 	if !start.IsZero() {
 		d := time.Since(start)
 		name := "dfs." + op.String()
@@ -158,14 +201,57 @@ func (p *peer) call(op Op, payload []byte) ([]byte, error) {
 	return body, err
 }
 
-func (p *peer) doCall(op Op, payload []byte) ([]byte, error) {
+// callWithRetry splits the configured deadline across attempts: an
+// idempotent op gets maxAttempts slices of it (so a single lost frame is
+// detected and retried early), a non-idempotent op gets the whole deadline
+// once. Worst case the caller is unblocked within the deadline plus the
+// small backoff sleeps — comfortably inside twice the configured value.
+func (p *peer) callWithRetry(op Op, payload []byte) ([]byte, error) {
+	total := time.Duration(p.timeout.Load())
+	attempts := 1
+	if op.Idempotent() {
+		attempts = maxAttempts
+	}
+	per := total
+	if total > 0 && attempts > 1 {
+		per = total / time.Duration(attempts)
+	}
+	backoff := retryBackoff
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			retryCounter.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var body []byte
+		body, err = p.doCall(op, payload, per)
+		if err == nil {
+			return body, nil
+		}
+		// Only a lost frame is worth retrying. A closed connection stays
+		// closed, and a remote error is a definitive answer.
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// errUnavailable tags transport-level failures so layers above (mirrorfs,
+// coherency) can distinguish "peer unreachable" from data errors.
+func errUnavailable(format string, a ...any) error {
+	return fmt.Errorf(format+" (%w)", append(a, fsys.ErrUnavailable)...)
+}
+
+func (p *peer) doCall(op Op, payload []byte, timeout time.Duration) ([]byte, error) {
 	id := p.nextID.Add(1)
 	ch := make(chan frame, 1)
 	p.mu.Lock()
 	if p.closed {
 		err := p.closeErr
 		p.mu.Unlock()
-		return nil, fmt.Errorf("dfs: connection closed: %w", err)
+		return nil, errUnavailable("dfs: connection closed: %w", err)
 	}
 	p.pending[id] = ch
 	p.mu.Unlock()
@@ -174,24 +260,42 @@ func (p *peer) doCall(op Op, payload []byte) ([]byte, error) {
 		p.mu.Lock()
 		delete(p.pending, id)
 		p.mu.Unlock()
-		return nil, err
+		return nil, errUnavailable("dfs: send %s: %w", op, err)
 	}
-	f, ok := <-ch
-	if !ok {
-		p.mu.Lock()
-		err := p.closeErr
-		p.mu.Unlock()
-		return nil, fmt.Errorf("dfs: connection closed: %w", err)
+
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
 	}
-	d := decoder{b: f.payload}
-	if status := d.u8(); status != 0 {
-		msg := d.str()
-		if d.err != nil {
-			return nil, d.err
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			p.mu.Lock()
+			err := p.closeErr
+			p.mu.Unlock()
+			return nil, errUnavailable("dfs: connection closed: %w", err)
 		}
-		return nil, &ErrRemote{Msg: msg}
+		d := decoder{b: f.payload}
+		if status := d.u8(); status != 0 {
+			msg := d.str()
+			if d.err != nil {
+				return nil, d.err
+			}
+			return nil, &ErrRemote{Msg: msg}
+		}
+		return d.b, nil
+	case <-expired:
+		// Abandon the call: a late response finds no pending entry and is
+		// dropped by the read loop.
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+		timeoutCounter.Inc()
+		return nil, errUnavailable("dfs: %s: %w", op, os.ErrDeadlineExceeded)
 	}
-	return d.b, nil
 }
 
 // shutdown tears the peer down, failing all pending calls.

@@ -1,10 +1,12 @@
 package dfs
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"springfs/internal/fsys"
 	"springfs/internal/naming"
@@ -39,6 +41,10 @@ type Server struct {
 	clients   map[*srvClient]bool
 	cred      naming.Credentials
 
+	// cbTimeout bounds server-to-client coherency callbacks, in
+	// nanoseconds (atomic: read per new connection).
+	cbTimeout atomic.Int64
+
 	// RemoteOps counts protocol requests served; Callbacks counts
 	// coherency callbacks issued to remote clients.
 	RemoteOps stats.Counter
@@ -53,7 +59,7 @@ var (
 // NewServer creates a DFS server served by domain. Remote operations are
 // performed against the underlying file system with cred.
 func NewServer(domain *spring.Domain, name string, cred naming.Credentials) *Server {
-	return &Server{
+	s := &Server{
 		name:    name,
 		domain:  domain,
 		locals:  make(map[any]*dfsFile),
@@ -62,7 +68,16 @@ func NewServer(domain *spring.Domain, name string, cred naming.Credentials) *Ser
 		clients: make(map[*srvClient]bool),
 		cred:    cred,
 	}
+	s.cbTimeout.Store(int64(DefaultCallbackTimeout))
+	return s
 }
+
+// SetCallbackTimeout bounds coherency callbacks issued to remote clients
+// (default DefaultCallbackTimeout). It applies to connections accepted
+// after the call. A callback that exceeds the bound marks the client
+// unreachable, so revocation degrades to dropping the holder instead of
+// wedging the block. Zero disables the bound.
+func (s *Server) SetCallbackTimeout(d time.Duration) { s.cbTimeout.Store(int64(d)) }
 
 // NewCreator returns a stackable_fs_creator for DFS servers.
 func NewCreator(domain *spring.Domain, cred naming.Credentials) fsys.Creator {
@@ -123,6 +138,7 @@ func (s *Server) Serve(l net.Listener) {
 func (s *Server) addClient(conn net.Conn) *srvClient {
 	c := &srvClient{srv: s, sessions: make(map[uint64]*session)}
 	c.peer = newPeer(conn, c.handle, func(error) { c.teardown() })
+	c.peer.setTimeout(time.Duration(s.cbTimeout.Load()))
 	s.mu.Lock()
 	s.clients[c] = true
 	s.mu.Unlock()
@@ -420,9 +436,32 @@ func (se *session) release() {
 // operation becomes a protocol callback.
 type forwardingCache struct {
 	se *session
+
+	// unreachable latches once a callback fails at the transport level:
+	// the client cannot be revoked any more, so the coherency layer must
+	// drop it as a holder instead of waiting on it again.
+	unreachable atomic.Bool
 }
 
-var _ fsys.FsCacheObject = (*forwardingCache)(nil)
+var (
+	_ fsys.FsCacheObject  = (*forwardingCache)(nil)
+	_ vm.UnreachableCache = (*forwardingCache)(nil)
+)
+
+// Unreachable implements vm.UnreachableCache.
+func (c *forwardingCache) Unreachable() bool {
+	return c.unreachable.Load() || c.se.client.peer.isClosed()
+}
+
+// markUnreachable latches the flag and tears the client connection down in
+// the background. The teardown must be asynchronous: callbacks run while
+// the coherency layer holds the block busy, and releasing the client's
+// sessions reacquires the same flag.
+func (c *forwardingCache) markUnreachable() {
+	if !c.unreachable.Swap(true) {
+		go c.se.client.peer.Close()
+	}
+}
 
 // rangeCallback issues a callback carrying (fileID, offset, size) and
 // decodes returned dirty extents.
@@ -434,6 +473,9 @@ func (c *forwardingCache) rangeCallback(op Op, offset, size vm.Offset) []vm.Data
 	e.i64(size)
 	body, err := c.se.client.peer.call(op, e.b)
 	if err != nil {
+		if errors.Is(err, fsys.ErrUnavailable) {
+			c.markUnreachable()
+		}
 		return nil // client gone: nothing to reclaim
 	}
 	d := decoder{b: body}
@@ -496,6 +538,9 @@ func (c *forwardingCache) FlushAttributes() (fsys.Attributes, bool) {
 	e.u8(1) // flush
 	body, err := c.se.client.peer.call(OpCbInvalAttrs, e.b)
 	if err != nil {
+		if errors.Is(err, fsys.ErrUnavailable) {
+			c.markUnreachable()
+		}
 		return fsys.Attributes{}, false
 	}
 	d := decoder{b: body}
@@ -520,7 +565,9 @@ func (c *forwardingCache) invalAttrs() {
 	var e encoder
 	e.u64(c.se.fileID)
 	e.u8(0) // invalidate
-	_, _ = c.se.client.peer.call(OpCbInvalAttrs, e.b)
+	if _, err := c.se.client.peer.call(OpCbInvalAttrs, e.b); err != nil && errors.Is(err, fsys.ErrUnavailable) {
+		c.markUnreachable()
+	}
 }
 
 // encodeAttrs/decodeAttrs carry attributes on the wire as (length, atime,

@@ -48,6 +48,11 @@ const (
 	OpSetLen
 	OpSyncFile
 	OpClose
+	// OpDetach is sent by Client.Close before dropping the connection: the
+	// server releases all of the client's sessions (and with them its
+	// coherency holdings) synchronously, so home-node writers do not have to
+	// discover the departure through a timed-out revocation.
+	OpDetach
 
 	// Server-to-client callbacks (coherency actions).
 	OpCbFlushBack
@@ -63,7 +68,7 @@ func (o Op) String() string {
 		OpMkdir: "mkdir", OpList: "list", OpRead: "read", OpWrite: "write",
 		OpPageIn: "page_in", OpPageOut: "page_out", OpGetAttr: "get_attr",
 		OpSetAttr: "set_attr", OpGetLen: "get_len", OpSetLen: "set_len",
-		OpSyncFile: "sync_file", OpClose: "close",
+		OpSyncFile: "sync_file", OpClose: "close", OpDetach: "detach",
 		OpCbFlushBack: "cb_flush_back", OpCbDenyWrites: "cb_deny_writes",
 		OpCbDeleteRange: "cb_delete_range", OpCbInvalAttrs: "cb_inval_attrs",
 	}
@@ -71,6 +76,21 @@ func (o Op) String() string {
 		return s
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Idempotent reports whether an operation can be retried safely after a
+// timeout: re-executing it on the server produces the same result and no
+// extra side effects. Reads, stats, lookups, and page-ins qualify; anything
+// that mutates namespace or data (create, remove, write, page-out, setattr)
+// does not, because the first attempt may have been applied before the
+// response frame was lost. Callbacks are never retried by the caller — the
+// coherency layer owns their failure handling.
+func (o Op) Idempotent() bool {
+	switch o {
+	case OpLookup, OpList, OpRead, OpPageIn, OpGetAttr, OpGetLen:
+		return true
+	}
+	return false
 }
 
 // Frame kinds.

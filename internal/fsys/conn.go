@@ -56,9 +56,35 @@ func WrapCache(ch *spring.Channel, cache vm.CacheObject) vm.CacheObject {
 		return cache
 	}
 	if fc, ok := cache.(FsCacheObject); ok {
-		return NewFsCacheProxy(ch, fc)
+		proxy := NewFsCacheProxy(ch, fc)
+		if uc, ok := cache.(vm.UnreachableCache); ok {
+			return &unreachableFsCacheProxy{FsCacheObject: proxy, ch: ch, under: uc}
+		}
+		return proxy
 	}
 	return vm.NewCacheProxy(ch, cache)
+}
+
+// unreachableFsCacheProxy preserves the UnreachableCache subtype across a
+// domain boundary, so a pager can tell a dead remote holder from a live one
+// by narrowing (a DFS server's forwarding cache is typically in a different
+// domain than the coherency layer revoking it).
+type unreachableFsCacheProxy struct {
+	FsCacheObject
+	ch    *spring.Channel
+	under vm.UnreachableCache
+}
+
+var (
+	_ FsCacheObject       = (*unreachableFsCacheProxy)(nil)
+	_ vm.UnreachableCache = (*unreachableFsCacheProxy)(nil)
+)
+
+// Unreachable implements vm.UnreachableCache.
+func (p *unreachableFsCacheProxy) Unreachable() bool {
+	var v bool
+	p.ch.Call(func() { v = p.under.Unreachable() })
+	return v
 }
 
 // Connection is one established pager-cache object connection between a

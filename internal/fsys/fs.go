@@ -23,6 +23,12 @@ var (
 	ErrReadOnly = errors.New("fsys: read-only file system")
 	// ErrClosed is returned after a file system is shut down.
 	ErrClosed = errors.New("fsys: file system closed")
+	// ErrUnavailable is returned when a layer cannot reach a backing
+	// resource (a dead peer, a partitioned link, a timed-out call).
+	// Layers above may degrade — mirrorfs drops the replica from its
+	// fan-out, coherency removes the unreachable holder — instead of
+	// treating it as data corruption.
+	ErrUnavailable = errors.New("fsys: resource unavailable")
 )
 
 // File is the Spring file interface. It inherits from the memory object

@@ -32,13 +32,16 @@ type MirrorFS struct {
 
 	mu          sync.Mutex
 	replicas    []fsys.StackableFS // exactly 2 once stacked
+	healthy     [2]bool            // replica i is in the fan-out
 	files       map[string]*mirrorFile
 	nextBacking atomic.Uint64
 
 	// Failovers counts reads served by the mirror after a primary
-	// failure; Degraded counts writes that reached only one replica.
+	// failure; Degraded counts writes that reached only one replica;
+	// Resyncs counts successful replica resynchronisations.
 	Failovers stats.Counter
 	Degraded  stats.Counter
+	Resyncs   stats.Counter
 }
 
 var (
@@ -84,8 +87,45 @@ func (m *MirrorFS) StackOn(under fsys.StackableFS) error {
 	if len(m.replicas) >= 2 {
 		return fsys.ErrAlreadyStacked
 	}
+	m.healthy[len(m.replicas)] = true
 	m.replicas = append(m.replicas, under)
 	return nil
+}
+
+// replicaHealthy reports whether replica i (0 = primary) is in the
+// fan-out.
+func (m *MirrorFS) replicaHealthy(i int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.healthy[i]
+}
+
+// noteError marks replica i unhealthy when err is a transport-level
+// failure (a timed-out or dead DFS link): subsequent operations skip the
+// replica instead of each paying the timeout, until Resync restores it.
+// Data-level errors (ErrNotFound, io.EOF, ...) do not indict the replica.
+func (m *MirrorFS) noteError(i int, err error) {
+	if err == nil || !errors.Is(err, fsys.ErrUnavailable) {
+		return
+	}
+	m.mu.Lock()
+	m.healthy[i] = false
+	m.mu.Unlock()
+}
+
+// Health returns the fan-out state of (primary, mirror).
+func (m *MirrorFS) Health() (primary, mirror bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.healthy[0], m.healthy[1]
+}
+
+// MarkUnhealthy removes replica i from the fan-out (test/operator hook;
+// the normal path is noteError observing fsys.ErrUnavailable).
+func (m *MirrorFS) MarkUnhealthy(i int) {
+	m.mu.Lock()
+	m.healthy[i] = false
+	m.mu.Unlock()
 }
 
 // both returns the two replicas or an error if the layer is not fully
@@ -126,8 +166,17 @@ func (m *MirrorFS) Create(name string, cred naming.Credentials) (fsys.File, erro
 	if err != nil {
 		return nil, err
 	}
-	f1, err1 := r1.Create(name, cred)
-	f2, err2 := r2.Create(name, cred)
+	var f1, f2 fsys.File
+	err1 := fmt.Errorf("mirrorfs: primary out of fan-out (%w)", fsys.ErrUnavailable)
+	err2 := fmt.Errorf("mirrorfs: mirror out of fan-out (%w)", fsys.ErrUnavailable)
+	if m.replicaHealthy(0) {
+		f1, err1 = r1.Create(name, cred)
+		m.noteError(0, err1)
+	}
+	if m.replicaHealthy(1) {
+		f2, err2 = r2.Create(name, cred)
+		m.noteError(1, err2)
+	}
 	if err1 != nil && err2 != nil {
 		return nil, fmt.Errorf("mirrorfs: create failed on both replicas: %w", err1)
 	}
@@ -251,13 +300,157 @@ func (m *MirrorFS) CreateContext(name string, cred naming.Credentials) (naming.C
 	return ctx, nil
 }
 
+// Resync rebuilds a replica that was dropped from the fan-out: the whole
+// tree is copied from the surviving replica onto the healed one, cached
+// file handles are re-resolved, and the replica rejoins the fan-out.
+// Writes degraded while the replica was out are thereby reconciled. It is
+// the operator's (or test's) signal that the fault is repaired — the layer
+// cannot tell on its own that a dead link came back.
+func (m *MirrorFS) Resync(cred naming.Credentials) error {
+	r1, r2, err := m.both()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	h0, h1 := m.healthy[0], m.healthy[1]
+	m.mu.Unlock()
+	var src, dst fsys.StackableFS
+	var healed int
+	switch {
+	case h0 && h1:
+		return nil
+	case h0:
+		src, dst, healed = r1, r2, 1
+	case h1:
+		src, dst, healed = r2, r1, 0
+	default:
+		return fmt.Errorf("mirrorfs: resync: no healthy replica to copy from (%w)", fsys.ErrUnavailable)
+	}
+	if err := copyTree(src, dst, "", cred); err != nil {
+		return fmt.Errorf("mirrorfs: resync: %w", err)
+	}
+	m.mu.Lock()
+	m.healthy[healed] = true
+	files := make(map[string]*mirrorFile, len(m.files))
+	for name, f := range m.files {
+		files[name] = f
+	}
+	m.mu.Unlock()
+	// Refresh replica handles: the healed side's old handles may refer to
+	// files from before the fault (or be nil for files created during the
+	// degradation).
+	for name, f := range files {
+		var p, q fsys.File
+		if obj, err := r1.Resolve(name, cred); err == nil {
+			p, _ = obj.(fsys.File)
+		}
+		if obj, err := r2.Resolve(name, cred); err == nil {
+			q, _ = obj.(fsys.File)
+		}
+		f.setCopies(p, q)
+	}
+	m.Resyncs.Inc()
+	return nil
+}
+
+// copyTree replicates the tree under prefix from src onto dst.
+func copyTree(src, dst fsys.StackableFS, prefix string, cred naming.Credentials) error {
+	var ctx naming.Context = src
+	if prefix != "" {
+		obj, err := src.Resolve(prefix, cred)
+		if err != nil {
+			return err
+		}
+		c, ok := obj.(naming.Context)
+		if !ok {
+			return fmt.Errorf("copy %s: not a context", prefix)
+		}
+		ctx = c
+	}
+	bindings, err := ctx.List(cred)
+	if err != nil {
+		return err
+	}
+	for _, b := range bindings {
+		path := b.Name
+		if prefix != "" {
+			path = prefix + "/" + b.Name
+		}
+		switch o := b.Object.(type) {
+		case fsys.File:
+			if err := copyFile(o, dst, path, cred); err != nil {
+				return fmt.Errorf("copy %s: %w", path, err)
+			}
+		case naming.Context:
+			if _, err := dst.Resolve(path, cred); err != nil {
+				if _, err := dst.CreateContext(path, cred); err != nil {
+					return fmt.Errorf("mkdir %s: %w", path, err)
+				}
+			}
+			if err := copyTree(src, dst, path, cred); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// copyFile replicates one file's contents onto dst at path.
+func copyFile(src fsys.File, dst fsys.StackableFS, path string, cred naming.Credentials) error {
+	attrs, err := src.Stat()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, attrs.Length)
+	if attrs.Length > 0 {
+		if _, err := src.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+			return err
+		}
+	}
+	out, err := dst.Open(path, cred)
+	if err != nil {
+		out, err = dst.Create(path, cred)
+		if err != nil {
+			return err
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := out.WriteAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := out.SetLength(attrs.Length); err != nil {
+		return err
+	}
+	return out.Sync()
+}
+
 // mirrorFile is a file replicated on two underlying file systems.
 type mirrorFile struct {
 	fs      *MirrorFS
 	name    string
 	backing uint64
+
+	// hmu guards the replica handles, which Resync refreshes after
+	// rebuilding a healed replica.
+	hmu     sync.Mutex
 	primary fsys.File // may be nil if the primary copy is missing
 	mirror  fsys.File // may be nil if the mirror copy is missing
+}
+
+// copies snapshots the replica handles.
+func (f *mirrorFile) copies() (primary, mirror fsys.File) {
+	f.hmu.Lock()
+	defer f.hmu.Unlock()
+	return f.primary, f.mirror
+}
+
+// setCopies installs refreshed replica handles (Resync).
+func (f *mirrorFile) setCopies(primary, mirror fsys.File) {
+	f.hmu.Lock()
+	f.primary = primary
+	f.mirror = mirror
+	f.hmu.Unlock()
 }
 
 var (
@@ -270,43 +463,61 @@ func (f *mirrorFile) WrapForChannel(ch *spring.Channel) naming.Object {
 	return fsys.NewFileProxy(ch, f)
 }
 
-// readFrom runs op against the primary, failing over to the mirror.
+// readFrom runs op against the primary, failing over to the mirror. A
+// replica marked unhealthy is skipped outright so reads stop paying a dead
+// link's timeout on every call.
 func (f *mirrorFile) readFrom(op func(fsys.File) error) error {
-	if f.primary != nil {
-		if err := op(f.primary); err == nil {
+	primary, mirror := f.copies()
+	if primary != nil && f.fs.replicaHealthy(0) {
+		err := op(primary)
+		if err == nil {
 			return nil
 		}
+		f.fs.noteError(0, err)
 	}
-	if f.mirror == nil {
-		return fmt.Errorf("mirrorfs: %s: both replicas unavailable", f.name)
+	if mirror == nil || !f.fs.replicaHealthy(1) {
+		return fmt.Errorf("mirrorfs: %s: both replicas unavailable (%w)", f.name, fsys.ErrUnavailable)
 	}
 	f.fs.Failovers.Inc()
-	return op(f.mirror)
+	err := op(mirror)
+	if err != nil {
+		f.fs.noteError(1, err)
+	}
+	return err
 }
 
-// writeBoth runs op against both replicas; it succeeds if at least one
-// replica accepted the write, counting the degradation.
+// writeBoth fans the write out to every healthy replica; it succeeds if at
+// least one replica accepted the write, counting the degradation. A
+// replica whose DFS calls time out is marked unhealthy by noteError and
+// dropped from the fan-out until Resync heals it.
 func (f *mirrorFile) writeBoth(op func(fsys.File) error) error {
-	var err1, err2 error
-	if f.primary != nil {
-		err1 = op(f.primary)
-	} else {
-		err1 = fmt.Errorf("mirrorfs: primary copy missing")
+	primary, mirror := f.copies()
+	ok := 0
+	var firstErr error
+	apply := func(i int, r fsys.File) {
+		if r == nil || !f.fs.replicaHealthy(i) {
+			return
+		}
+		if err := op(r); err != nil {
+			f.fs.noteError(i, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		ok++
 	}
-	if f.mirror != nil {
-		err2 = op(f.mirror)
-	} else {
-		err2 = fmt.Errorf("mirrorfs: mirror copy missing")
-	}
+	apply(0, primary)
+	apply(1, mirror)
 	switch {
-	case err1 == nil && err2 == nil:
-		return nil
-	case err1 == nil || err2 == nil:
+	case ok == 0 && firstErr != nil:
+		return firstErr
+	case ok == 0:
+		return fmt.Errorf("mirrorfs: %s: no healthy replica (%w)", f.name, fsys.ErrUnavailable)
+	case ok < 2:
 		f.fs.Degraded.Inc()
-		return nil
-	default:
-		return err1
 	}
+	return nil
 }
 
 // ReadAt implements fsys.File.

@@ -2,7 +2,9 @@ package mirrorfs
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 
 	"springfs/internal/blockdev"
@@ -265,5 +267,174 @@ func TestStatAndLength(t *testing.T) {
 		if l, _ := rf.GetLength(); l != 50 {
 			t.Errorf("replica %d length = %d", i+1, l)
 		}
+	}
+}
+
+// flakyFS wraps a replica and can be tripped to fail every operation with
+// a transport-style unavailable error, simulating a replica reached over a
+// dead DFS link (calls time out and surface fsys.ErrUnavailable).
+type flakyFS struct {
+	fsys.StackableFS
+	down atomic.Bool
+}
+
+func (f *flakyFS) errIfDown() error {
+	if f.down.Load() {
+		return fmt.Errorf("flaky: link down (%w)", fsys.ErrUnavailable)
+	}
+	return nil
+}
+
+func (f *flakyFS) Create(name string, cred naming.Credentials) (fsys.File, error) {
+	if err := f.errIfDown(); err != nil {
+		return nil, err
+	}
+	inner, err := f.StackableFS.Create(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: inner, fs: f}, nil
+}
+
+func (f *flakyFS) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	obj, err := f.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.AsFile(obj)
+}
+
+func (f *flakyFS) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	if err := f.errIfDown(); err != nil {
+		return nil, err
+	}
+	obj, err := f.StackableFS.Resolve(name, cred)
+	if err != nil {
+		return nil, err
+	}
+	if file, ok := obj.(fsys.File); ok {
+		return &flakyFile{File: file, fs: f}, nil
+	}
+	return obj, nil
+}
+
+// flakyFile fails data operations while the link is down.
+type flakyFile struct {
+	fsys.File
+	fs *flakyFS
+}
+
+func (f *flakyFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.errIfDown(); err != nil {
+		return 0, err
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *flakyFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.errIfDown(); err != nil {
+		return 0, err
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *flakyFile) Stat() (fsys.Attributes, error) {
+	if err := f.fs.errIfDown(); err != nil {
+		return fsys.Attributes{}, err
+	}
+	return f.File.Stat()
+}
+
+func (f *flakyFile) Sync() error {
+	if err := f.fs.errIfDown(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *flakyFile) SetLength(l vm.Offset) error {
+	if err := f.fs.errIfDown(); err != nil {
+		return err
+	}
+	return f.File.SetLength(l)
+}
+
+// TestReplicaDegradationAndResync exercises the mirror health state
+// machine: a replica whose calls fail at the transport level is dropped
+// from the fan-out (writes keep succeeding, degraded), and Resync copies
+// the survivor's tree back onto the healed replica and restores full
+// mirroring.
+func TestReplicaDegradationAndResync(t *testing.T) {
+	node := spring.NewNode("n")
+	t.Cleanup(node.Stop)
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	sfs1, _ := newSFS(t, node, vmm, "m1")
+	sfs2, _ := newSFS(t, node, vmm, "m2")
+	flaky := &flakyFS{StackableFS: sfs2}
+	m := New(spring.NewDomain(node, "mirror"), "mirror")
+	if err := m.StackOn(sfs1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StackOn(flaky); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := m.Create("doc", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("seed data....."), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mirror link dies. The first write pays the failure once, marks
+	// the replica unhealthy, and still succeeds on the survivor.
+	flaky.down.Store(true)
+	if _, err := f.WriteAt([]byte("degraded-one.."), 0); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	if p, q := m.Health(); !p || q {
+		t.Errorf("health after failure = (%v, %v), want (true, false)", p, q)
+	}
+	if m.Degraded.Value() == 0 {
+		t.Error("no degraded writes recorded")
+	}
+	// Later writes skip the dead replica outright.
+	if _, err := f.WriteAt([]byte("degraded-two.."), 0); err != nil {
+		t.Fatalf("second degraded write: %v", err)
+	}
+
+	// Heal the link and resync: the replica catches up and rejoins.
+	flaky.down.Store(false)
+	if err := m.Resync(naming.Root); err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	if p, q := m.Health(); !p || !q {
+		t.Errorf("health after resync = (%v, %v), want (true, true)", p, q)
+	}
+	if m.Resyncs.Value() == 0 {
+		t.Error("no resync recorded")
+	}
+	// The healed replica has the writes it missed.
+	rf, err := sfs2.Open("doc", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 14)
+	if _, err := rf.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "degraded-two.." {
+		t.Errorf("healed replica = %q, want %q", got, "degraded-two..")
+	}
+	// New writes fan out to both replicas again.
+	if _, err := f.WriteAt([]byte("mirrored-again"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "mirrored-again" {
+		t.Errorf("replica after resync write = %q, want %q", got, "mirrored-again")
 	}
 }

@@ -6,12 +6,21 @@
 // The paper's DFS exports SFS files to other machines "through some
 // existing protocol (e.g., AFS)"; this reproduction speaks its own binary
 // protocol (package dfs) over connections from this package.
+//
+// Beyond the latency/bandwidth model, the network injects faults so the
+// failure modes of a distributed stack are testable in-process: full
+// partitions (Partition), per-message drop/duplicate/extra-delay
+// probabilities (SetFaults), and a deterministic drop of the next K
+// messages (DropNext). Connections honor net.Conn deadlines, returning
+// os.ErrDeadlineExceeded like real sockets do.
 package netsim
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -50,6 +59,24 @@ var ProfileFast = Profile{Latency: 10 * time.Microsecond, BytesPerSecond: 100 <<
 // ProfileNone disables the latency model (unit tests).
 var ProfileNone = Profile{}
 
+// Faults configure probabilistic per-message fault injection. Messages are
+// whole Write calls: the DFS protocol sends each frame in a single Write,
+// so a dropped message models a lost request or response frame without
+// corrupting the framing of later traffic.
+type Faults struct {
+	// DropProb is the probability a message is silently discarded.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a message suffers ExtraDelay on top of
+	// the profile latency.
+	DelayProb float64
+	// ExtraDelay is the additional one-way delay for delayed messages.
+	ExtraDelay time.Duration
+	// Seed seeds the fault RNG so runs are reproducible (0 means seed 1).
+	Seed int64
+}
+
 // Network is a collection of listeners reachable by address.
 type Network struct {
 	profile Profile
@@ -57,10 +84,17 @@ type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*listener
 	down      bool
+	faults    Faults
+	rng       *rand.Rand
+	dropNext  int
 
-	// Messages and Bytes count traffic through the network.
+	// Messages and Bytes count traffic through the network; Drops, Dups,
+	// and Delays count injected faults.
 	Messages stats.Counter
 	Bytes    stats.Counter
+	Drops    stats.Counter
+	Dups     stats.Counter
+	Delays   stats.Counter
 }
 
 // New creates a network with the given link profile.
@@ -81,6 +115,52 @@ func (n *Network) isDown() bool {
 	return n.down
 }
 
+// SetFaults installs (or, with the zero Faults, clears) probabilistic
+// fault injection on every link of the network.
+func (n *Network) SetFaults(f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// DropNext arranges for the next k messages (Write calls) to be silently
+// dropped, then the link heals. Deterministic, for tests.
+func (n *Network) DropNext(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropNext = k
+}
+
+// applyFaults decides the fate of one message: dropped, duplicated, and/or
+// delayed. It is called once per Write.
+func (n *Network) applyFaults() (drop, dup bool, extraDelay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dropNext > 0 {
+		n.dropNext--
+		return true, false, 0
+	}
+	f := n.faults
+	if n.rng == nil || (f.DropProb == 0 && f.DupProb == 0 && f.DelayProb == 0) {
+		return false, false, 0
+	}
+	if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
+		return true, false, 0
+	}
+	if f.DupProb > 0 && n.rng.Float64() < f.DupProb {
+		dup = true
+	}
+	if f.DelayProb > 0 && n.rng.Float64() < f.DelayProb {
+		extraDelay = f.ExtraDelay
+	}
+	return false, dup, extraDelay
+}
+
 // addr implements net.Addr.
 type addr string
 
@@ -93,13 +173,15 @@ type message struct {
 	deliverAt time.Time
 }
 
-// halfConn is one direction of a connection.
+// halfConn is one direction of a connection. Exactly one Conn reads from
+// it (the deadline is that reader's) and one writes into it.
 type halfConn struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []message
-	closed bool
-	buf    []byte // partially consumed head message
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []message
+	closed   bool
+	buf      []byte    // partially consumed head message
+	deadline time.Time // the reader's deadline; zero means none
 }
 
 func newHalf() *halfConn {
@@ -121,23 +203,68 @@ func (h *halfConn) push(data []byte, deliverAt time.Time) error {
 	return nil
 }
 
+// setDeadline installs the reader's deadline and wakes any blocked reader
+// so it re-evaluates (the net.Conn contract: a deadline in the past fails
+// pending Reads immediately).
+func (h *halfConn) setDeadline(t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.deadline = t
+	h.cond.Broadcast()
+}
+
+// waitLocked blocks until the cond is signalled or until the earliest of
+// the non-zero times in bounds. Caller holds h.mu.
+func (h *halfConn) waitLocked(bounds ...time.Time) {
+	var until time.Time
+	for _, t := range bounds {
+		if !t.IsZero() && (until.IsZero() || t.Before(until)) {
+			until = t
+		}
+	}
+	if until.IsZero() {
+		h.cond.Wait()
+		return
+	}
+	d := time.Until(until)
+	if d <= 0 {
+		return
+	}
+	wake := time.AfterFunc(d, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	h.cond.Wait()
+	wake.Stop()
+}
+
+// pop delivers received bytes. It models propagation delay by waiting for
+// the head message's arrival time, but the wait is interruptible: Close
+// and deadline changes wake it immediately, so teardown is never delayed
+// by in-flight latency.
 func (h *halfConn) pop(p []byte) (int, error) {
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	for {
+		if !h.deadline.IsZero() && !time.Now().Before(h.deadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
 		if len(h.buf) > 0 {
 			n := copy(p, h.buf)
 			h.buf = h.buf[n:]
-			h.mu.Unlock()
 			return n, nil
 		}
 		if len(h.queue) > 0 {
 			m := h.queue[0]
 			now := time.Now()
 			if now.Before(m.deliverAt) {
-				// Model propagation delay: wait outside the lock.
-				h.mu.Unlock()
-				time.Sleep(m.deliverAt.Sub(now))
-				h.mu.Lock()
+				if h.closed {
+					// The message is still "on the wire" but the reader is
+					// gone: do not let shutdown pay the propagation delay.
+					return 0, ErrClosed
+				}
+				h.waitLocked(m.deliverAt, h.deadline)
 				continue
 			}
 			h.queue = h.queue[1:]
@@ -145,10 +272,9 @@ func (h *halfConn) pop(p []byte) (int, error) {
 			continue
 		}
 		if h.closed {
-			h.mu.Unlock()
 			return 0, ErrClosed
 		}
-		h.cond.Wait()
+		h.waitLocked(h.deadline)
 	}
 }
 
@@ -167,7 +293,8 @@ type Conn struct {
 	local  addr
 	remote addr
 
-	wmu sync.Mutex // serialises Write's bandwidth accounting
+	wmu           sync.Mutex // serialises Write's bandwidth accounting
+	writeDeadline time.Time  // guarded by wmu
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -179,12 +306,16 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 // Write implements net.Conn: the sender pays the transmission time (length
 // over bandwidth) and the receiver sees the data after the propagation
-// delay.
+// delay, unless fault injection drops, duplicates, or delays the message.
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.net.isDown() {
 		return 0, ErrNetworkDown
 	}
 	c.wmu.Lock()
+	if wd := c.writeDeadline; !wd.IsZero() && !time.Now().Before(wd) {
+		c.wmu.Unlock()
+		return 0, os.ErrDeadlineExceeded
+	}
 	if bps := c.net.profile.BytesPerSecond; bps > 0 {
 		tx := time.Duration(int64(time.Second) * int64(len(p)) / bps)
 		if tx > 0 {
@@ -192,9 +323,22 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 	}
 	c.wmu.Unlock()
-	deliverAt := time.Now().Add(c.net.profile.Latency)
+	drop, dup, extraDelay := c.net.applyFaults()
+	if drop {
+		// The bytes vanish on the wire; the sender cannot tell.
+		c.net.Drops.Inc()
+		return len(p), nil
+	}
+	if extraDelay > 0 {
+		c.net.Delays.Inc()
+	}
+	deliverAt := time.Now().Add(c.net.profile.Latency + extraDelay)
 	if err := c.write.push(p, deliverAt); err != nil {
 		return 0, err
+	}
+	if dup {
+		c.net.Dups.Inc()
+		_ = c.write.push(p, deliverAt)
 	}
 	c.net.Messages.Inc()
 	c.net.Bytes.Add(int64(len(p)))
@@ -214,14 +358,28 @@ func (c *Conn) LocalAddr() net.Addr { return c.local }
 // RemoteAddr implements net.Conn.
 func (c *Conn) RemoteAddr() net.Addr { return c.remote }
 
-// SetDeadline implements net.Conn (deadlines are not modelled).
-func (c *Conn) SetDeadline(t time.Time) error { return nil }
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
 
-// SetReadDeadline implements net.Conn.
-func (c *Conn) SetReadDeadline(t time.Time) error { return nil }
+// SetReadDeadline implements net.Conn: Reads at or past t fail with
+// os.ErrDeadlineExceeded, including Reads already blocked.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.read.setDeadline(t)
+	return nil
+}
 
 // SetWriteDeadline implements net.Conn.
-func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wmu.Lock()
+	c.writeDeadline = t
+	c.wmu.Unlock()
+	return nil
+}
 
 // listener implements net.Listener.
 type listener struct {

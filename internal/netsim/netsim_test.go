@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -286,5 +287,302 @@ func TestBandwidthThrottling(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
 		t.Errorf("64KiB at 1MiB/s took %v, want >= ~60ms", elapsed)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read error = %v, want os.ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+	// Clearing the deadline lets reads proceed again.
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("read returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Close()
+	<-errCh
+}
+
+func TestDeadlineInterruptsBlockedRead(t *testing.T) {
+	// A deadline set in the past must wake an already blocked reader.
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.SetReadDeadline(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Errorf("read error = %v, want os.ErrDeadlineExceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("past deadline did not interrupt blocked read")
+	}
+}
+
+func TestWriteDeadline(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetWriteDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("write error = %v, want os.ErrDeadlineExceeded", err)
+	}
+	if err := c.SetWriteDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Errorf("write after clearing deadline: %v", err)
+	}
+}
+
+func TestCloseDuringLatencySleepIsPrompt(t *testing.T) {
+	// A reader waiting out propagation delay must not pin Close for the
+	// full latency: after close it returns immediately.
+	n := New(Profile{Latency: 2 * time.Second})
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan io.ReadWriteCloser, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	if _, err := srv.Write([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 4))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the reader start waiting out latency
+	start := time.Now()
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("read error = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not wake the latency sleeper")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("close-to-wake took %v, want prompt", elapsed)
+	}
+	srv.Close()
+}
+
+func TestDropNext(t *testing.T) {
+	n := New(ProfileNone)
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan io.ReadWriteCloser, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	defer srv.Close()
+	n.DropNext(1)
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatal(err) // drops are silent to the sender
+	}
+	if _, err := c.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(srv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("kept")) {
+		t.Errorf("received %q, want the dropped frame gone and %q delivered", buf, "kept")
+	}
+	if got := n.Drops.Value(); got != 1 {
+		t.Errorf("drops = %d, want 1", got)
+	}
+}
+
+func TestFaultInjectionDropAndDup(t *testing.T) {
+	n := New(ProfileNone)
+	n.SetFaults(Faults{DropProb: 1})
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan io.ReadWriteCloser, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Drops.Value(); got != 3 {
+		t.Errorf("drops = %d, want 3", got)
+	}
+	if got := n.Messages.Value(); got != 0 {
+		t.Errorf("messages = %d, want 0 (all dropped)", got)
+	}
+
+	n.SetFaults(Faults{DupProb: 1})
+	if _, err := c.Write([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(srv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("dd")) {
+		t.Errorf("received %q, want duplicated delivery %q", buf, "dd")
+	}
+	if got := n.Dups.Value(); got != 1 {
+		t.Errorf("dups = %d, want 1", got)
+	}
+}
+
+func TestFaultInjectionExtraDelay(t *testing.T) {
+	n := New(ProfileNone)
+	n.SetFaults(Faults{DelayProb: 1, ExtraDelay: 50 * time.Millisecond})
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan io.ReadWriteCloser, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c, err := n.Dial("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	defer srv.Close()
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(srv, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Errorf("delayed message arrived after %v, want >= ~50ms", elapsed)
+	}
+	if got := n.Delays.Value(); got != 1 {
+		t.Errorf("delays = %d, want 1", got)
 	}
 }

@@ -142,6 +142,19 @@ type CacheObject interface {
 	DestroyCache()
 }
 
+// UnreachableCache is an optional extension of CacheObject for caches that
+// live across a network boundary. A pager may narrow a cache object to it
+// before trusting a revocation result: an unreachable cache returns empty
+// extents not because nothing is dirty but because the holder is gone, and
+// the pager should drop the holder rather than wait on it again. Local
+// cache objects do not implement this — they are always reachable.
+type UnreachableCache interface {
+	CacheObject
+	// Unreachable reports whether coherency actions against this cache
+	// can no longer be delivered (dead connection, timed-out callbacks).
+	Unreachable() bool
+}
+
 // MemoryObject is an abstraction of store that can be mapped into address
 // spaces (Appendix B). Note the absence of paging or read/write operations:
 // contents are provided by a pager object reached through Bind. The Spring

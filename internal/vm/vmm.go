@@ -157,8 +157,18 @@ func (v *VMM) forget(fc *FileCache, pn int64) {
 
 // maybeEvict evicts least-recently-used pages until the resident count is
 // within budget. It must be called with no FileCache mutex held.
+//
+// The scan is bounded to one pass over the resident set: a page whose
+// eviction fails (dirty with a persistently failing page-out — e.g. a dead
+// backing link — or already gone) is rotated to the LRU front and not
+// retried, so a cache full of unevictable pages costs one sweep instead of
+// spinning forever. The budget may be exceeded until evictions succeed
+// again; that is the graceful outcome.
 func (v *VMM) maybeEvict() {
-	for {
+	v.mu.Lock()
+	budget := v.lru.Len()
+	v.mu.Unlock()
+	for ; budget > 0; budget-- {
 		v.mu.Lock()
 		if v.maxPages == 0 || v.pageCount <= v.maxPages {
 			v.mu.Unlock()
@@ -173,7 +183,8 @@ func (v *VMM) maybeEvict() {
 		v.mu.Unlock()
 		if !k.fc.evict(k.pn) {
 			// The page was busy (faulting) or already gone; move it to
-			// the front so we do not spin on it and try the next victim.
+			// the front so we do not retry it this pass and try the next
+			// victim.
 			v.mu.Lock()
 			if el2, ok := v.lruIndex[k]; ok {
 				v.lru.MoveToFront(el2)

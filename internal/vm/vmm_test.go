@@ -2,9 +2,11 @@ package vm
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"springfs/internal/spring"
 )
@@ -19,8 +21,16 @@ type memPager struct {
 	length int64
 	conns  map[CacheManager]*memConn
 
-	pageIns  int
-	pageOuts int
+	pageIns      int
+	pageOuts     int
+	failPageOuts bool // simulate a dead backing store
+}
+
+// setFailPageOuts makes every page-out fail (or heals the store).
+func (p *memPager) setFailPageOuts(fail bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failPageOuts = fail
 }
 
 type memConn struct {
@@ -101,6 +111,9 @@ func (p *memPager) storeData(offset Offset, data []byte) {
 func (p *memPager) PageOut(offset, size Offset, data []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.failPageOuts {
+		return errors.New("memPager: backing store dead")
+	}
 	p.pageOuts++
 	p.storeData(offset, data)
 	return nil
@@ -713,5 +726,55 @@ func TestDropCachesFlushesDirty(t *testing.T) {
 	}
 	if pager.pageIns != before+1 {
 		t.Errorf("refault count = %d", pager.pageIns-before)
+	}
+}
+
+func TestEvictionBoundedWhenPageOutFails(t *testing.T) {
+	// Every resident page is dirty and the backing store rejects all
+	// page-outs: maybeEvict must make one pass and give up, not spin
+	// forever retrying unevictable victims.
+	rig := newRig(t)
+	rig.vmm.SetMaxPages(4)
+	pager := newMemPager(rig.pagerDomain)
+	pager.setFailPageOuts(true)
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, PageSize)
+	done := make(chan error, 1)
+	go func() {
+		for pn := int64(0); pn < 12; pn++ {
+			if _, err := m.WriteAt(payload, pn*PageSize); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writes wedged: eviction spun on unevictable dirty pages")
+	}
+	// The budget is exceeded rather than data lost — the graceful outcome.
+	if got := rig.vmm.ResidentPages(); got <= 4 {
+		t.Errorf("resident pages = %d, want > maxPages while store is dead", got)
+	}
+	// Healing the store lets eviction drain back within budget.
+	pager.setFailPageOuts(false)
+	if _, err := m.WriteAt(payload, 12*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Within budget again, modulo the page the last fault installed after
+	// its eviction sweep ran.
+	if got := rig.vmm.ResidentPages(); got > 5 {
+		t.Errorf("resident pages = %d after heal, want <= 5", got)
 	}
 }

@@ -95,6 +95,9 @@ type (
 	LatencyProfile = blockdev.LatencyProfile
 	// NetProfile models network link timing.
 	NetProfile = netsim.Profile
+	// NetFaults configures fault injection (drop/duplicate/delay
+	// probabilities) on a simulated network, via Network.SetFaults.
+	NetFaults = netsim.Faults
 )
 
 // Re-exported constants and values.

@@ -128,6 +128,18 @@ func TestWatchCommand(t *testing.T) {
 	}
 }
 
+func TestStatsShowWriteBackCounters(t *testing.T) {
+	// The flush-engine counters are registered eagerly, so `stats` lists
+	// them (at zero) even before any write-back has run.
+	drive(t, "newsfs sfs0a", "stats")
+	out := stats.Default.String()
+	for _, name := range []string{"vmm.flush.extents", "vmm.flush.pages"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("stats output missing %s:\n%s", name, out)
+		}
+	}
+}
+
 func TestStatsShowDFSFailureCounters(t *testing.T) {
 	// The failure counters are registered eagerly, so `stats` lists them
 	// (at zero) even before any timeout or retry has happened.

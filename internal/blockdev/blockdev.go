@@ -398,7 +398,13 @@ func (d *MemDevice) WriteRun(bn int64, buf []byte) error {
 }
 
 // RunReader is implemented by devices supporting contiguous multi-block
-// transfers.
+// transfers: ReadRun and WriteRun move len(buf)/BlockSize consecutive
+// blocks starting at bn in one call, paying a single positioning delay
+// (seek + rotation) for the whole run plus per-block transfer time. buf
+// must be a non-empty multiple of BlockSize and the run must lie within
+// the device. Clustered page-ins (read-ahead, Section 8) and clustered
+// write-back both lean on this interface: it is what turns an N-page
+// extent into one device transfer instead of N.
 type RunReader interface {
 	ReadRun(bn int64, buf []byte) error
 	WriteRun(bn int64, buf []byte) error

@@ -26,7 +26,10 @@ type FileDevice struct {
 	Writes stats.Counter
 }
 
-var _ Device = (*FileDevice)(nil)
+var (
+	_ Device    = (*FileDevice)(nil)
+	_ RunReader = (*FileDevice)(nil)
+)
 
 // OpenFile opens (creating and sizing if needed) a file-backed device with
 // nblocks blocks at path.
@@ -114,6 +117,75 @@ func (d *FileDevice) WriteBlock(bn int64, buf []byte) error {
 	d.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("blockdev: file write: %w", err)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// checkRun validates an n-block run transfer.
+func (d *FileDevice) checkRun(bn, n int64, buf []byte) error {
+	if len(buf) == 0 || len(buf)%BlockSize != 0 {
+		return ErrBadSize
+	}
+	if d.closed {
+		return ErrClosed
+	}
+	if bn < 0 || bn+n > d.nblocks {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// chargeRun computes the latency of an n-block contiguous transfer: one
+// positioning delay for the run plus per-block transfer time.
+func (d *FileDevice) chargeRun(bn, n int64) time.Duration {
+	delay := d.profile.Rotation + time.Duration(n)*d.profile.PerBlock
+	if bn != d.lastBn+1 {
+		delay += d.profile.Seek
+	}
+	d.lastBn = bn + n - 1
+	return delay
+}
+
+// ReadRun implements RunReader: one host read (and one latency charge) for
+// a contiguous run of blocks.
+func (d *FileDevice) ReadRun(bn int64, buf []byte) error {
+	n := int64(len(buf) / BlockSize)
+	d.mu.Lock()
+	if err := d.checkRun(bn, n, buf); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	delay := d.chargeRun(bn, n)
+	_, err := d.f.ReadAt(buf, bn*BlockSize)
+	d.Reads.Add(n)
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("blockdev: file read run: %w", err)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// WriteRun implements RunReader: one host write (and one latency charge)
+// for a contiguous run of blocks.
+func (d *FileDevice) WriteRun(bn int64, buf []byte) error {
+	n := int64(len(buf) / BlockSize)
+	d.mu.Lock()
+	if err := d.checkRun(bn, n, buf); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	delay := d.chargeRun(bn, n)
+	_, err := d.f.WriteAt(buf, bn*BlockSize)
+	d.Writes.Add(n)
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("blockdev: file write run: %w", err)
 	}
 	if delay > 0 {
 		time.Sleep(delay)

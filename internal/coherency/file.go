@@ -1,6 +1,7 @@
 package coherency
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -369,8 +370,80 @@ func (f *cohFile) writeThrough(pn int64) error {
 	return nil
 }
 
+// maxWriteThroughBlocks bounds one clustered lower write (mirrors the
+// VMM's DefaultMaxExtentPages).
+const maxWriteThroughBlocks = 64
+
+// writeThroughRuns pushes the dirty blocks among pns (sorted ascending,
+// duplicates allowed) to the lower layer, coalescing contiguous dirty
+// runs into single lower Sync calls of at most maxWriteThroughBlocks
+// blocks — one lower call (one device command, or one RPC) per run
+// instead of one per block. Each block's data and version are snapshotted
+// with its busy flag held, one block at a time; the lower calls run with
+// no busy flag held (the deadlock discipline), and dirty is cleared only
+// where the version did not move meanwhile, so a write landing mid-flush
+// keeps its block dirty. Runs that fail leave their blocks dirty; all
+// errors are joined.
+func (f *cohFile) writeThroughRuns(pns []int64) error {
+	type snap struct {
+		pn      int64
+		version uint64
+	}
+	type run struct {
+		snaps []snap
+		data  []byte
+	}
+	var runs []*run
+	var cur *run
+	prev := int64(-2)
+	for _, pn := range pns {
+		if pn == prev {
+			continue
+		}
+		b := f.acquire(pn)
+		if !b.valid || !b.dirty {
+			f.release(b)
+			continue
+		}
+		if cur == nil || pn != prev+1 || len(cur.snaps) >= maxWriteThroughBlocks {
+			cur = &run{}
+			runs = append(runs, cur)
+		}
+		cur.snaps = append(cur.snaps, snap{pn: pn, version: b.version})
+		cur.data = append(cur.data, b.data...)
+		prev = pn
+		f.release(b)
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	pager, err := f.ensureLowerPager()
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, r := range runs {
+		t := opWriteThrough.Start()
+		err := pager.Sync(r.snaps[0].pn*BlockSize, vm.Offset(len(r.data)), r.data)
+		opWriteThrough.End(t, int64(len(r.data)))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for _, s := range r.snaps {
+			f.fs.LowerPageOuts.Inc()
+			b := f.acquire(s.pn)
+			if b.version == s.version {
+				b.dirty = false
+			}
+			f.release(b)
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // flushAll downgrades writers, writes every dirty block through to the
-// lower layer, and pushes modified attributes down.
+// lower layer in clustered runs, and pushes modified attributes down.
 func (f *cohFile) flushAll() error {
 	f.bmu.Lock()
 	pns := make([]int64, 0, len(f.blocks))
@@ -379,15 +452,16 @@ func (f *cohFile) flushAll() error {
 	}
 	f.bmu.Unlock()
 	// Flush in file order: allocation below then lays blocks out
-	// sequentially, which keeps later clustered reads cheap.
+	// sequentially, which keeps later clustered reads — and the clustered
+	// write-back itself — cheap.
 	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
 	for _, pn := range pns {
 		b := f.acquire(pn)
 		f.revokeForRead(b, pn, nil) // collect modified data from writers
 		f.release(b)
-		if err := f.writeThrough(pn); err != nil {
-			return err
-		}
+	}
+	if err := f.writeThroughRuns(pns); err != nil {
+		return err
 	}
 	if attrs, dirty := f.attrs.Flush(); dirty {
 		if err := f.pushLowerAttrs(attrs); err != nil {
@@ -662,13 +736,15 @@ func (p *cohPager) store(offset, size vm.Offset, data []byte, retain int, throug
 	if int64(len(data)) < size {
 		return fmt.Errorf("coherency: short data: %d < %d", len(data), size)
 	}
+	var pns []int64
 	for pn := offset / BlockSize; pn*BlockSize < offset+size; pn++ {
 		p.file.storeBlock(p.conn, pn, data[pn*BlockSize-offset:(pn+1)*BlockSize-offset], retain)
-		if through {
-			if err := p.file.writeThrough(pn); err != nil {
-				return err
-			}
-		}
+		pns = append(pns, pn)
+	}
+	if through {
+		// A multi-block extent (the VMM's clustered write-back) goes down
+		// as clustered runs too, instead of one lower call per block.
+		return p.file.writeThroughRuns(pns)
 	}
 	return nil
 }

@@ -459,14 +459,29 @@ func (p *remotePager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.R
 	return out, nil
 }
 
+// pageOut ships a write-back extent to the home node. The payload is
+// variable-length, so the VMM's clustered write-back collapses an N-page
+// dirty run into one RPC; extents above the wire bound are split into
+// consecutive calls the handler will accept.
 func (p *remotePager) pageOut(offset, size vm.Offset, data []byte, retain uint8) error {
-	var e encoder
-	e.u64(p.file.id)
-	e.i64(offset)
-	e.u8(retain)
-	e.bytes(data[:size])
-	_, err := p.file.client.call(OpPageOut, e.b)
-	return err
+	data = data[:size]
+	for len(data) > 0 {
+		n := len(data)
+		if n > maxPageOutPayload {
+			n = maxPageOutPayload
+		}
+		var e encoder
+		e.u64(p.file.id)
+		e.i64(offset)
+		e.u8(retain)
+		e.bytes(data[:n])
+		if _, err := p.file.client.call(OpPageOut, e.b); err != nil {
+			return err
+		}
+		offset += vm.Offset(n)
+		data = data[n:]
+	}
+	return nil
 }
 
 // PageOut implements vm.PagerObject.

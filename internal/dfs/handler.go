@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -260,6 +261,14 @@ func (c *srvClient) handle(op Op, payload []byte) ([]byte, error) {
 		if d.err != nil {
 			return nil, d.err
 		}
+		// Guard the variable-length payload: it must be a whole number of
+		// pages and bounded (clients split larger extents), so a malformed
+		// or hostile frame cannot push a torn page or an oversized
+		// allocation into the pager below.
+		if len(data) == 0 || len(data)%vm.PageSize != 0 || len(data) > maxPageOutPayload {
+			return nil, fmt.Errorf("%w: page-out payload of %d bytes", ErrProtocol, len(data))
+		}
+		c.srv.PageOutOps.Inc()
 		se, err := c.sessionFor(fileID)
 		if err != nil {
 			return nil, err

@@ -46,9 +46,12 @@ type Server struct {
 	cbTimeout atomic.Int64
 
 	// RemoteOps counts protocol requests served; Callbacks counts
-	// coherency callbacks issued to remote clients.
-	RemoteOps stats.Counter
-	Callbacks stats.Counter
+	// coherency callbacks issued to remote clients; PageOutOps counts
+	// OpPageOut requests specifically — with clustered write-back an
+	// N-page dirty run arrives as ~N/64 of these instead of N.
+	RemoteOps  stats.Counter
+	Callbacks  stats.Counter
+	PageOutOps stats.Counter
 }
 
 var (

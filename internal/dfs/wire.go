@@ -110,6 +110,12 @@ const (
 // allocating unbounded memory.
 const maxFrame = 16 << 20
 
+// maxPageOutPayload bounds the data carried by one OpPageOut frame, well
+// under maxFrame. Clients split larger write-back extents into
+// consecutive calls; the handler rejects anything bigger (or not a whole
+// number of pages).
+const maxPageOutPayload = 4 << 20
+
 // ErrProtocol reports a malformed frame or payload.
 var ErrProtocol = errors.New("dfs: protocol error")
 

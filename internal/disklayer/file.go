@@ -237,7 +237,14 @@ func (p *diskPager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rig
 	return p.PageIn(offset, size, access)
 }
 
-// PageOut implements vm.PagerObject.
+// PageOut implements vm.PagerObject. The data may span many pages (the
+// VMM's clustered write-back): block lookups happen under the metadata
+// lock, then the device writes run outside it, coalescing runs that are
+// consecutive both in the file and on the device into single transfers
+// (one positioning delay per run) when the device supports it — the write
+// mirror of PageIn's clustered reads. The inode's mtime advances only
+// after every write has succeeded, so a failed device write does not
+// stamp modification metadata for data that never reached the disk.
 func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
 	if !vm.PageAligned(offset, size) {
 		return vm.ErrUnaligned
@@ -255,8 +262,8 @@ func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
 		return err
 	}
 	type ioReq struct {
-		bn  int64
-		src []byte
+		bn  int64 // device block
+		fbn int64 // file block
 	}
 	var reqs []ioReq
 	for fbn := offset / BlockSize; fbn*BlockSize < offset+size; fbn++ {
@@ -265,16 +272,37 @@ func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
 			fs.mu.Unlock()
 			return err
 		}
-		reqs = append(reqs, ioReq{bn: bn, src: data[fbn*BlockSize-offset : (fbn+1)*BlockSize-offset]})
+		reqs = append(reqs, ioReq{bn: bn, fbn: fbn})
+	}
+	fs.mu.Unlock()
+	rr, canRun := fs.dev.(blockdev.RunReader)
+	srcFor := func(fbn int64) []byte {
+		return data[fbn*BlockSize-offset : (fbn+1)*BlockSize-offset]
+	}
+	for i := 0; i < len(reqs); {
+		j := i + 1
+		for canRun && j < len(reqs) &&
+			reqs[j].bn == reqs[j-1].bn+1 && reqs[j].fbn == reqs[j-1].fbn+1 {
+			j++
+		}
+		if j-i > 1 {
+			full := data[reqs[i].fbn*BlockSize-offset : reqs[j-1].fbn*BlockSize-offset+BlockSize]
+			if err := rr.WriteRun(reqs[i].bn, full); err != nil {
+				return err
+			}
+		} else if err := fs.dev.WriteBlock(reqs[i].bn, srcFor(reqs[i].fbn)); err != nil {
+			return err
+		}
+		i = j
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ci, err = fs.readInode(p.file.ino)
+	if err != nil {
+		return err
 	}
 	ci.in.mtime = fs.now()
 	ci.dirty = true
-	fs.mu.Unlock()
-	for _, r := range reqs {
-		if err := fs.dev.WriteBlock(r.bn, r.src); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 

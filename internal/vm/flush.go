@@ -1,0 +1,254 @@
+package vm
+
+import (
+	"errors"
+	"sync"
+
+	"springfs/internal/stats"
+)
+
+// Clustered, parallel write-back.
+//
+// The paper's pager↔cache protocol moves data in extents (Section 5), and
+// the read side already exploits that: page-ins are clustered through
+// read-ahead hints and blockdev run transfers. This file gives the write
+// side the same shape. Every flush path — Mapping.Sync, eviction,
+// DropCaches — goes through the same engine:
+//
+//  1. snapshot: under fc.mu, the dirty present pages of the range are
+//     captured as (page number, page identity, dirty generation, data
+//     copy) and coalesced into contiguous extents of at most
+//     SetMaxExtentPages pages;
+//  2. write: each extent is pushed to the pager in ONE PageOut/Sync call
+//     with the lock released — one positioning delay on disk, one RPC
+//     over DFS, instead of one per page — with independent extents
+//     written concurrently by a bounded worker pool (SetFlushWorkers);
+//  3. settle: under fc.mu again, each page of a written extent is cleared
+//     (Sync) or evicted (PageOut) only if its dirty generation did not
+//     move and the page object is still the one snapshotted. A write that
+//     landed mid-flush bumped the generation, so the page keeps its dirty
+//     bit and the newer data is flushed later — never lost.
+//
+// Pages stay present in the cache for the whole flush, so concurrent
+// faults are served from the cache instead of racing the write-back to the
+// pager for stale data. Pages of a failed extent simply stay cached and
+// dirty; errors from independent extents are joined.
+
+// Defaults for the clustering knobs; see VMM.SetMaxExtentPages and
+// VMM.SetFlushWorkers.
+const (
+	DefaultMaxExtentPages = 64
+	DefaultFlushWorkers   = 4
+)
+
+// maxPageNumber bounds "the whole file" page ranges.
+const maxPageNumber = int64(1) << 52
+
+// opFlush spans one whole flush operation (snapshot + clustered
+// write-back); the per-extent pager calls appear under vmm.page_out. The
+// counters are registered eagerly so `springsh stats` shows them (the
+// registry prints every counter but only non-empty histograms).
+var (
+	opFlush          = stats.NewOp("vmm.flush", stats.BoundaryDirect)
+	flushExtentsStat = stats.Default.Counter("vmm.flush.extents")
+	flushPagesStat   = stats.Default.Counter("vmm.flush.pages")
+)
+
+// flushMode selects the pager call and what happens to settled pages.
+type flushMode int
+
+const (
+	// flushSync writes extents through pager.Sync (the cache retains the
+	// pages read-write) and clears the dirty bit of settled pages.
+	flushSync flushMode = iota
+	// flushEvict writes extents through pager.PageOut (the cache no longer
+	// retains) and removes settled pages from the cache.
+	flushEvict
+)
+
+// flushPage is one dirty page captured for write-back.
+type flushPage struct {
+	pn  int64
+	p   *page  // identity at snapshot time
+	gen uint64 // dirty generation at snapshot time
+}
+
+// flushExtent is a contiguous run of dirty pages written with one pager
+// call.
+type flushExtent struct {
+	start int64 // first page number
+	pages []flushPage
+	data  []byte // len(pages)*PageSize, copied at snapshot time
+}
+
+// dirtyExtentsLocked snapshots the dirty present pages in [first, last]
+// into contiguous extents of at most maxPages pages each, in file order.
+// Caller holds fc.mu. The pages stay cached, present, and dirty.
+func (fc *FileCache) dirtyExtentsLocked(first, last int64, maxPages int) []*flushExtent {
+	if maxPages <= 0 {
+		maxPages = 1
+	}
+	var exts []*flushExtent
+	var cur *flushExtent
+	prev := int64(-2)
+	for _, pn := range fc.presentInRange(first, last) {
+		p := fc.pages[pn]
+		if !p.dirty {
+			continue
+		}
+		if cur == nil || pn != prev+1 || len(cur.pages) >= maxPages {
+			cur = &flushExtent{start: pn}
+			exts = append(exts, cur)
+		}
+		cur.pages = append(cur.pages, flushPage{pn: pn, p: p, gen: p.gen})
+		cur.data = append(cur.data, p.data...)
+		prev = pn
+	}
+	return exts
+}
+
+// dirtyRunLocked captures the contiguous run of dirty present pages
+// containing pn (at most the configured max extent), for eviction
+// clustering. Caller holds fc.mu.
+func (fc *FileCache) dirtyRunLocked(pn int64) *flushExtent {
+	max := int64(fc.vmm.maxExtentPageCount())
+	dirtyAt := func(i int64) bool {
+		p, ok := fc.pages[i]
+		return ok && p.state == pagePresent && p.dirty
+	}
+	start, end := pn, pn
+	for end-start+1 < max && dirtyAt(start-1) {
+		start--
+	}
+	for end-start+1 < max && dirtyAt(end+1) {
+		end++
+	}
+	ext := &flushExtent{start: start}
+	for i := start; i <= end; i++ {
+		p := fc.pages[i]
+		ext.pages = append(ext.pages, flushPage{pn: i, p: p, gen: p.gen})
+		ext.data = append(ext.data, p.data...)
+	}
+	return ext
+}
+
+// writeExtent pushes one extent to the pager. Called without fc.mu held.
+func (fc *FileCache) writeExtent(ext *flushExtent, mode flushMode) error {
+	off := ext.start * PageSize
+	size := Offset(len(ext.data))
+	t := opPageOut.Start()
+	var err error
+	if mode == flushSync {
+		err = fc.pager.Sync(off, size, ext.data)
+	} else {
+		err = fc.pager.PageOut(off, size, ext.data)
+	}
+	opPageOut.End(t, size)
+	if err != nil {
+		return err
+	}
+	flushExtentsStat.Inc()
+	flushPagesStat.Add(int64(len(ext.pages)))
+	fc.vmm.PageOuts.Add(int64(len(ext.pages)))
+	return nil
+}
+
+// completeExtent settles the pages of a successfully written extent:
+// flushSync clears their dirty bits, flushEvict removes them. A page whose
+// dirty generation moved — a write landed mid-flush — or that was replaced
+// or revoked keeps its state untouched, so nothing newer than the snapshot
+// is ever declared clean.
+func (fc *FileCache) completeExtent(ext *flushExtent, mode flushMode) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	removed := false
+	for _, fp := range ext.pages {
+		cur, ok := fc.pages[fp.pn]
+		if !ok || cur != fp.p || cur.state != pagePresent || cur.gen != fp.gen {
+			continue
+		}
+		switch mode {
+		case flushSync:
+			cur.dirty = false
+		case flushEvict:
+			fc.removePageLocked(fp.pn, cur)
+			fc.vmm.Evictions.Inc()
+			removed = true
+		}
+	}
+	if removed {
+		fc.cond.Broadcast()
+	}
+}
+
+// flushExtents writes a set of extents through a bounded worker pool,
+// settling each extent as its write completes. Extents are handed out in
+// file order so a sequentially dirty file reaches the pager (and the block
+// allocator below it) roughly sequentially. Pages of failed extents stay
+// cached and dirty; all errors are joined.
+func (fc *FileCache) flushExtents(exts []*flushExtent, mode flushMode) error {
+	if len(exts) == 0 {
+		return nil
+	}
+	flushOne := func(ext *flushExtent) error {
+		if err := fc.writeExtent(ext, mode); err != nil {
+			return err
+		}
+		fc.completeExtent(ext, mode)
+		return nil
+	}
+	workers := fc.vmm.flushWorkerCount()
+	if workers > len(exts) {
+		workers = len(exts)
+	}
+	if workers <= 1 {
+		var errs []error
+		for _, ext := range exts {
+			if err := flushOne(ext); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
+	ch := make(chan *flushExtent)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ext := range ch {
+				if err := flushOne(ext); err != nil {
+					emu.Lock()
+					errs = append(errs, err)
+					emu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, ext := range exts {
+		ch <- ext
+	}
+	close(ch)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// flushRange snapshots and writes back the dirty pages in [first, last],
+// recording the whole operation under the vmm.flush op.
+func (fc *FileCache) flushRange(first, last int64, mode flushMode) error {
+	t := opFlush.Start()
+	fc.mu.Lock()
+	exts := fc.dirtyExtentsLocked(first, last, fc.vmm.maxExtentPageCount())
+	fc.mu.Unlock()
+	var bytes int64
+	for _, ext := range exts {
+		bytes += int64(len(ext.data))
+	}
+	err := fc.flushExtents(exts, mode)
+	opFlush.End(t, bytes)
+	return err
+}

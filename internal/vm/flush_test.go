@@ -1,0 +1,604 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubPager is a minimal in-process pager for flush tests: unlike memPager
+// it hands its pager object to the VMM directly (no domain proxies),
+// records every write-back call, and exposes hooks to fail or stall
+// write-backs at precise points.
+type stubPager struct {
+	mu    sync.Mutex
+	store map[int64][]byte
+	conns map[CacheManager]CacheRights
+
+	calls   []stubCall
+	pageIns int
+	fail    bool
+	// onWriteBack, when set, runs at the start of every write-back with no
+	// locks held — tests use it to freeze a flush mid-flight.
+	onWriteBack func(offset, size Offset)
+}
+
+type stubCall struct {
+	op     string // "page_out", "write_out", "sync"
+	offset Offset
+	size   Offset
+}
+
+func newStubPager() *stubPager {
+	return &stubPager{
+		store: make(map[int64][]byte),
+		conns: make(map[CacheManager]CacheRights),
+	}
+}
+
+// Bind implements MemoryObject.
+func (p *stubPager) Bind(caller CacheManager, access Rights, offset, length Offset) (CacheRights, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.conns[caller]; ok {
+		return r, nil
+	}
+	_, rights := caller.NewConnection(p)
+	p.conns[caller] = rights
+	return rights, nil
+}
+
+// GetLength implements MemoryObject.
+func (p *stubPager) GetLength() (Offset, error) { return 0, nil }
+
+// SetLength implements MemoryObject.
+func (p *stubPager) SetLength(Offset) error { return nil }
+
+// PageIn implements PagerObject.
+func (p *stubPager) PageIn(offset, size Offset, access Rights) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pageIns++
+	out := make([]byte, size)
+	for pn := offset / PageSize; pn*PageSize < offset+size; pn++ {
+		if pg, ok := p.store[pn]; ok {
+			copy(out[pn*PageSize-offset:], pg)
+		}
+	}
+	return out, nil
+}
+
+func (p *stubPager) writeBack(op string, offset, size Offset, data []byte) error {
+	p.mu.Lock()
+	hook := p.onWriteBack
+	p.mu.Unlock()
+	if hook != nil {
+		hook(offset, size)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail {
+		return fmt.Errorf("stubPager: %s rejected", op)
+	}
+	p.calls = append(p.calls, stubCall{op: op, offset: offset, size: size})
+	for i := Offset(0); i < size; i += PageSize {
+		pg := make([]byte, PageSize)
+		copy(pg, data[i:])
+		p.store[(offset+i)/PageSize] = pg
+	}
+	return nil
+}
+
+// PageOut implements PagerObject.
+func (p *stubPager) PageOut(offset, size Offset, data []byte) error {
+	return p.writeBack("page_out", offset, size, data)
+}
+
+// WriteOut implements PagerObject.
+func (p *stubPager) WriteOut(offset, size Offset, data []byte) error {
+	return p.writeBack("write_out", offset, size, data)
+}
+
+// Sync implements PagerObject.
+func (p *stubPager) Sync(offset, size Offset, data []byte) error {
+	return p.writeBack("sync", offset, size, data)
+}
+
+// DoneWithPagerObject implements PagerObject.
+func (p *stubPager) DoneWithPagerObject() {}
+
+func (p *stubPager) setFail(fail bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fail = fail
+}
+
+func (p *stubPager) setHook(h func(offset, size Offset)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onWriteBack = h
+}
+
+func (p *stubPager) pageInCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pageIns
+}
+
+func (p *stubPager) callsSnapshot() []stubCall {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]stubCall, len(p.calls))
+	copy(out, p.calls)
+	return out
+}
+
+func (p *stubPager) resetCalls() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls = nil
+}
+
+func (p *stubPager) pageAt(pn int64) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, ok := p.store[pn]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(pg))
+	copy(out, pg)
+	return out
+}
+
+// TestSyncKeepsDirtyBitOfPageWrittenMidFlush is the regression test for
+// the Mapping.Sync lost-update race: a write that dirties the page between
+// the unlocked pager call and the re-lock used to get its dirty bit
+// cleared (the old code compared page pointers, not contents), so the
+// newer data was never written back.
+func TestSyncKeepsDirtyBitOfPageWrittenMidFlush(t *testing.T) {
+	rig := newRig(t)
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{0xAA}, PageSize)
+	if _, err := m.WriteAt(old, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	pager.setHook(func(Offset, Offset) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	})
+	done := make(chan error, 1)
+	go func() { done <- m.Sync() }()
+	<-entered
+	// The flush holds its snapshot; a newer write lands now.
+	newData := bytes.Repeat([]byte{0xBB}, PageSize)
+	if _, err := m.WriteAt(newData, 0); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The mid-flush write must still be dirty: a second Sync pushes it.
+	pager.setHook(nil)
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pager.pageAt(0); !bytes.Equal(got, newData) {
+		t.Fatalf("pager store after second Sync = %#x..., want %#x: mid-flush write lost", got[0], newData[0])
+	}
+}
+
+// TestEvictKeepsModifiedDataWhenWriteBackFails is the regression test for
+// the eviction reinstall race: the old code deleted the page before the
+// write-back, so a concurrent fault re-read stale data from the pager and
+// a failed write-back could not reinstall the modified page — the data was
+// silently dropped.
+func TestEvictKeepsModifiedDataWhenWriteBackFails(t *testing.T) {
+	rig := newRig(t)
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	precious := bytes.Repeat([]byte{0x5A}, PageSize)
+	if _, err := m.WriteAt(precious, 0); err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Cache()
+
+	pager.setFail(true)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	pager.setHook(func(Offset, Offset) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	})
+	done := make(chan bool, 1)
+	go func() { done <- fc.evict(0) }()
+	<-entered
+	// Mid-eviction the page must still be served from the cache; faulting
+	// to the pager here would re-read stale data.
+	before := pager.pageInCount()
+	got := make([]byte, PageSize)
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, precious) {
+		t.Fatalf("mid-evict read = %#x..., want %#x (stale data)", got[0], precious[0])
+	}
+	if pager.pageInCount() != before {
+		t.Error("mid-evict read faulted to the pager instead of the cache")
+	}
+	close(release)
+	if <-done {
+		t.Error("evict reported success though the write-back failed")
+	}
+
+	// Nothing was lost: the page is still cached dirty and drains once the
+	// pager heals.
+	pager.setHook(nil)
+	pager.setFail(false)
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pager.pageAt(0); !bytes.Equal(got, precious) {
+		t.Error("modified data lost by failed eviction")
+	}
+}
+
+// TestDropCachesWriteBackFailureLosesNothing is the regression test for
+// the DropCaches dirty-loss bug: the old code deleted dirty pages before
+// writing them back (a failed page-out lost the data permanently, and a
+// racing fault re-read stale data) and returned on the first error,
+// leaving every remaining cache unflushed.
+func TestDropCachesWriteBackFailureLosesNothing(t *testing.T) {
+	rig := newRig(t)
+	bad := newStubPager()
+	good := newStubPager()
+	mBad, err := rig.vmm.Map(bad, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mGood, err := rig.vmm.Map(good, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataA := bytes.Repeat([]byte{1}, PageSize)
+	dataB := bytes.Repeat([]byte{2}, PageSize)
+	if _, err := mBad.WriteAt(dataA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mGood.WriteAt(dataB, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad.setFail(true)
+
+	if err := rig.vmm.DropCaches(); err == nil {
+		t.Fatal("DropCaches reported success with a dead pager")
+	}
+	// The healthy cache was still flushed despite the earlier failure...
+	if got := good.pageAt(0); !bytes.Equal(got, dataB) {
+		t.Error("healthy cache not flushed after another cache's failure")
+	}
+	// ...and the failed page is still cached dirty: served without a
+	// fault, not lost.
+	before := bad.pageInCount()
+	got := make([]byte, PageSize)
+	if _, err := mBad.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dataA) {
+		t.Fatalf("dirty data lost by DropCaches: read %#x, want %#x", got[0], dataA[0])
+	}
+	if bad.pageInCount() != before {
+		t.Error("read after failed drop faulted to the pager (stale re-read window)")
+	}
+	// Healing the pager lets the data drain and the drop complete.
+	bad.setFail(false)
+	if err := rig.vmm.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bad.pageAt(0); !bytes.Equal(got, dataA) {
+		t.Error("data never reached the healed pager")
+	}
+	if got := rig.vmm.ResidentPages(); got != 0 {
+		t.Errorf("resident pages after successful drop = %d", got)
+	}
+}
+
+// TestSyncClustersContiguousDirtyPages asserts the core clustering
+// property: a sequentially dirty file flushes in ⌈pages/max-extent⌉ pager
+// calls, not one per page.
+func TestSyncClustersContiguousDirtyPages(t *testing.T) {
+	rig := newRig(t)
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 256
+	payload := make([]byte, pages*PageSize)
+	for i := range payload {
+		payload[i] = byte(i / PageSize)
+	}
+	if _, err := m.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	calls := pager.callsSnapshot()
+	want := (pages + DefaultMaxExtentPages - 1) / DefaultMaxExtentPages
+	if len(calls) != want {
+		t.Fatalf("Sync of %d contiguous dirty pages made %d pager calls, want %d", pages, len(calls), want)
+	}
+	var total Offset
+	for _, c := range calls {
+		if c.op != "sync" {
+			t.Errorf("flush used %s, want sync (caller retains read-write)", c.op)
+		}
+		if c.size > DefaultMaxExtentPages*PageSize {
+			t.Errorf("extent of %d bytes exceeds the max extent", c.size)
+		}
+		total += c.size
+	}
+	if total != pages*PageSize {
+		t.Errorf("flushed %d bytes, want %d", total, pages*PageSize)
+	}
+	for pn := int64(0); pn < pages; pn++ {
+		pg := pager.pageAt(pn)
+		if pg == nil || pg[0] != byte(pn) {
+			t.Fatalf("page %d wrong after clustered flush", pn)
+		}
+	}
+	// The pages stayed cached and clean: a second Sync writes nothing.
+	pager.resetCalls()
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := pager.callsSnapshot(); len(calls) != 0 {
+		t.Errorf("second Sync made %d pager calls, want 0", len(calls))
+	}
+}
+
+// TestSyncExtentsRespectGapsAndMaxExtent checks extent construction: runs
+// break at holes in the dirty set and at the configured max extent.
+func TestSyncExtentsRespectGapsAndMaxExtent(t *testing.T) {
+	rig := newRig(t)
+	rig.vmm.SetMaxExtentPages(2)
+	rig.vmm.SetFlushWorkers(1) // deterministic call order
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+	for _, pn := range []int64{0, 1, 2, 10, 20, 21} {
+		if _, err := m.WriteAt(page, pn*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantCalls := []stubCall{
+		{op: "sync", offset: 0, size: 2 * PageSize},
+		{op: "sync", offset: 2 * PageSize, size: PageSize},
+		{op: "sync", offset: 10 * PageSize, size: PageSize},
+		{op: "sync", offset: 20 * PageSize, size: 2 * PageSize},
+	}
+	calls := pager.callsSnapshot()
+	if len(calls) != len(wantCalls) {
+		t.Fatalf("calls = %+v, want %+v", calls, wantCalls)
+	}
+	for i, c := range calls {
+		if c != wantCalls[i] {
+			t.Errorf("call %d = %+v, want %+v", i, c, wantCalls[i])
+		}
+	}
+}
+
+// TestFlushWritesExtentsConcurrently proves the worker pool: with four
+// extents and the default pool, at least two extent write-backs must be in
+// flight at once. A sequential flush would never produce the second
+// arrival while the first is stalled.
+func TestFlushWritesExtentsConcurrently(t *testing.T) {
+	rig := newRig(t)
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4*DefaultMaxExtentPages*PageSize)
+	if _, err := m.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	arrived := make(chan struct{}, 8)
+	proceed := make(chan struct{})
+	pager.setHook(func(Offset, Offset) {
+		arrived <- struct{}{}
+		<-proceed
+	})
+	done := make(chan error, 1)
+	go func() { done <- m.Sync() }()
+	<-arrived
+	select {
+	case <-arrived:
+	case <-time.After(10 * time.Second):
+		close(proceed)
+		t.Fatal("no concurrent extent write-back: flush is sequential")
+	}
+	close(proceed)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictionClusteringPreservesData exercises the clustered eviction
+// path under memory pressure: every evicted page's data must survive the
+// round trip through the pager.
+func TestEvictionClusteringPreservesData(t *testing.T) {
+	rig := newRig(t)
+	rig.vmm.SetMaxPages(8)
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 64
+	buf := make([]byte, PageSize)
+	for pn := int64(0); pn < pages; pn++ {
+		for i := range buf {
+			buf[i] = byte(pn + 1)
+		}
+		if _, err := m.WriteAt(buf, pn*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rig.vmm.ResidentPages(); got > 8 {
+		t.Errorf("resident pages = %d, want <= 8", got)
+	}
+	for pn := int64(0); pn < pages; pn++ {
+		if _, err := m.ReadAt(buf, pn*PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(pn+1) || buf[PageSize-1] != byte(pn+1) {
+			t.Fatalf("page %d = %d, want %d: data lost through clustered eviction", pn, buf[0], pn+1)
+		}
+	}
+}
+
+// TestConcurrentWritesDuringFlushLoseNothing races a continuous flusher
+// against a writer; after both stop, one final Sync must leave the pager
+// holding the last value written to every page.
+func TestConcurrentWritesDuringFlushLoseNothing(t *testing.T) {
+	rig := newRig(t)
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 32
+	const rounds = 50
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.Sync(); err != nil {
+				t.Errorf("concurrent Sync: %v", err)
+				return
+			}
+		}
+	}()
+	final := make([]byte, pages)
+	buf := make([]byte, PageSize)
+	for r := 1; r <= rounds; r++ {
+		for pn := 0; pn < pages; pn++ {
+			v := byte(r ^ pn)
+			for i := range buf {
+				buf[i] = v
+			}
+			if _, err := m.WriteAt(buf, int64(pn)*PageSize); err != nil {
+				t.Fatal(err)
+			}
+			final[pn] = v
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for pn := 0; pn < pages; pn++ {
+		pg := pager.pageAt(int64(pn))
+		if pg == nil || pg[0] != final[pn] || pg[PageSize-1] != final[pn] {
+			t.Fatalf("page %d lost its last write during concurrent flushing", pn)
+		}
+	}
+}
+
+// TestDropCachesVsConcurrentFaults races DropCaches against writes and
+// reads: every read must observe the preceding write, and the final state
+// must hold every page's last value.
+func TestDropCachesVsConcurrentFaults(t *testing.T) {
+	rig := newRig(t)
+	pager := newStubPager()
+	m, err := rig.vmm.Map(pager, RightsWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 16
+	const rounds = 40
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rig.vmm.DropCaches(); err != nil {
+				t.Errorf("concurrent DropCaches: %v", err)
+				return
+			}
+		}
+	}()
+	buf := make([]byte, PageSize)
+	rbuf := make([]byte, PageSize)
+	for r := 1; r <= rounds; r++ {
+		for pn := 0; pn < pages; pn++ {
+			v := byte(r + pn)
+			for i := range buf {
+				buf[i] = v
+			}
+			if _, err := m.WriteAt(buf, int64(pn)*PageSize); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.ReadAt(rbuf, int64(pn)*PageSize); err != nil {
+				t.Fatal(err)
+			}
+			if rbuf[0] != v {
+				t.Fatalf("round %d page %d: read %d right after writing %d (dropped mid-write)", r, pn, rbuf[0], v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for pn := 0; pn < pages; pn++ {
+		want := byte(rounds + pn)
+		pg := pager.pageAt(int64(pn))
+		if pg == nil || pg[0] != want {
+			t.Fatalf("page %d final value lost across DropCaches", pn)
+		}
+	}
+}

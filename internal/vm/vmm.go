@@ -2,6 +2,7 @@ package vm
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,10 @@ type VMM struct {
 	pageCount int
 	lru       *list.List // front = most recent; values are lruEntry
 	lruIndex  map[lruKey]*list.Element
+
+	// Write-back clustering knobs (flush.go). Zero means the default.
+	maxExtent    int // pages coalesced into one write-back extent
+	flushWorkers int // concurrent extent writers per flush
 
 	// Counters observable by tests and the bench harness.
 	PageIns   stats.Counter
@@ -68,6 +73,43 @@ func (v *VMM) SetMaxPages(n int) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.maxPages = n
+}
+
+// SetMaxExtentPages bounds how many contiguous dirty pages are coalesced
+// into a single write-back call (flush.go); n <= 0 restores the default,
+// n == 1 disables clustering.
+func (v *VMM) SetMaxExtentPages(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.maxExtent = n
+}
+
+// SetFlushWorkers bounds how many extents a flush writes back concurrently;
+// n <= 0 restores the default, n == 1 makes flushes sequential.
+func (v *VMM) SetFlushWorkers(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.flushWorkers = n
+}
+
+// maxExtentPageCount returns the effective clustering bound.
+func (v *VMM) maxExtentPageCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.maxExtent > 0 {
+		return v.maxExtent
+	}
+	return DefaultMaxExtentPages
+}
+
+// flushWorkerCount returns the effective write-back concurrency.
+func (v *VMM) flushWorkerCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.flushWorkers > 0 {
+		return v.flushWorkers
+	}
+	return DefaultFlushWorkers
 }
 
 // ResidentPages returns the number of pages currently cached by the VMM.
@@ -209,6 +251,12 @@ type pageState int
 const (
 	pagePresent pageState = iota
 	pageFaulting
+	// pageGone marks a page object that was removed from the cache while a
+	// reference to it may still be live: a writer that resolved its fault
+	// against this object re-validates under the lock, sees the state, and
+	// re-faults instead of modifying an orphaned buffer (which would lose
+	// the write silently).
+	pageGone
 )
 
 type page struct {
@@ -216,6 +264,13 @@ type page struct {
 	data   []byte // PageSize bytes when present
 	rights Rights
 	dirty  bool
+	// gen counts modifications: it is bumped every time the page is
+	// dirtied. Write-back snapshots (pn, gen, data) under the lock, writes
+	// with the lock released, and clears the dirty bit only if gen did not
+	// move — a write landing mid-flush keeps its dirty bit, so the newer
+	// data is flushed again rather than lost. Same pattern as
+	// coherency.blockState.version.
+	gen uint64
 	// epoch counts revocations that hit this page while it was faulting.
 	// A coherency action overlapping an in-flight fault cannot wait for
 	// the fault (the fault may be blocked inside the very pager issuing
@@ -327,6 +382,7 @@ func (fc *FileCache) ensure(pn int64, want Rights) (*page, error) {
 			// page-in.
 			dirtyData := p.dirty
 			dataCopy := p.data
+			p.state = pageGone
 			fc.pages[pn] = &page{state: pageFaulting}
 			fc.vmm.forget(fc, pn)
 			fc.mu.Unlock()
@@ -443,8 +499,28 @@ func (fc *FileCache) installIfAbsentLocked(pn int64, data []byte, rights Rights)
 	fc.vmm.touch(fc, pn)
 }
 
+// removePageLocked deletes a present page from the cache, marking the page
+// object gone so racing writers holding a stale reference re-fault (see
+// pageGone). Caller holds fc.mu.
+func (fc *FileCache) removePageLocked(pn int64, p *page) {
+	p.state = pageGone
+	delete(fc.pages, pn)
+	fc.vmm.forget(fc, pn)
+}
+
 // evict removes page pn if it is present, writing modified contents back to
-// the pager. It reports whether the page was evicted.
+// the pager first. It reports whether the page was evicted.
+//
+// A dirty victim is flushed together with the whole contiguous run of
+// dirty pages around it (bounded by the configured max extent): the run
+// retires in one pager call — one positioning delay on disk, one RPC over
+// DFS — and every page it covers is evicted with it. The pages stay
+// present in the cache during the unlocked write-back, so a concurrent
+// fault is served from the cache instead of re-reading stale data from the
+// pager; this is what closes the old delete-then-reinstall race, where a
+// racing fault could install a stale page and the modified data was
+// silently dropped. A page dirtied again mid-flush keeps its dirty bit and
+// stays cached (see page.gen).
 func (fc *FileCache) evict(pn int64) bool {
 	fc.mu.Lock()
 	p, ok := fc.pages[pn]
@@ -452,23 +528,25 @@ func (fc *FileCache) evict(pn int64) bool {
 		fc.mu.Unlock()
 		return false
 	}
-	delete(fc.pages, pn)
-	fc.vmm.forget(fc, pn)
-	fc.mu.Unlock()
-	if p.dirty {
-		if err := fc.pageOut(pn, p.data); err != nil {
-			// Reinstall rather than lose modified data.
-			fc.mu.Lock()
-			if _, exists := fc.pages[pn]; !exists && !fc.destroyed {
-				fc.pages[pn] = p
-				fc.vmm.touch(fc, pn)
-			}
-			fc.mu.Unlock()
-			return false
-		}
+	if !p.dirty {
+		fc.removePageLocked(pn, p)
+		fc.cond.Broadcast()
+		fc.mu.Unlock()
+		fc.vmm.Evictions.Inc()
+		return true
 	}
-	fc.vmm.Evictions.Inc()
-	return true
+	ext := fc.dirtyRunLocked(pn)
+	fc.mu.Unlock()
+	if err := fc.writeExtent(ext, flushEvict); err != nil {
+		// The pages stay cached and dirty: nothing was lost. The caller
+		// rotates the victim so its sweep stays bounded.
+		return false
+	}
+	fc.completeExtent(ext, flushEvict)
+	fc.mu.Lock()
+	_, still := fc.pages[pn]
+	fc.mu.Unlock()
+	return !still
 }
 
 // revokeFaulting bumps the epoch of every in-flight fault in [first, last]
@@ -553,8 +631,7 @@ func (c *vmmCacheObject) FlushBack(offset, size Offset) []Data {
 	out := fc.collectModified(first, last)
 	for pn, p := range fc.pages {
 		if pn >= first && pn <= last && p.state == pagePresent {
-			delete(fc.pages, pn)
-			fc.vmm.forget(fc, pn)
+			fc.removePageLocked(pn, p)
 		}
 	}
 	fc.cond.Broadcast()
@@ -603,8 +680,7 @@ func (c *vmmCacheObject) DeleteRange(offset, size Offset) {
 	fc.revokeFaulting(first, last)
 	for pn, p := range fc.pages {
 		if pn >= first && pn <= last && p.state == pagePresent {
-			delete(fc.pages, pn)
-			fc.vmm.forget(fc, pn)
+			fc.removePageLocked(pn, p)
 		}
 	}
 	fc.cond.Broadcast()
@@ -623,6 +699,9 @@ func (c *vmmCacheObject) ZeroFill(offset, size Offset) {
 		return
 	}
 	for pn := first; pn <= last; pn++ {
+		if old, ok := fc.pages[pn]; ok && old.state == pagePresent {
+			old.state = pageGone
+		}
 		fc.pages[pn] = &page{state: pagePresent, data: make([]byte, PageSize), rights: RightsWrite}
 		fc.vmm.touch(fc, pn)
 	}
@@ -640,6 +719,9 @@ func (c *vmmCacheObject) Populate(offset, size Offset, access Rights, data []byt
 		return
 	}
 	for pn := first; pn <= last; pn++ {
+		if old, ok := fc.pages[pn]; ok && old.state == pagePresent {
+			old.state = pageGone
+		}
 		buf := make([]byte, PageSize)
 		copy(buf, data[(pn-first)*PageSize:])
 		fc.pages[pn] = &page{state: pagePresent, data: buf, rights: access}
@@ -653,7 +735,10 @@ func (c *vmmCacheObject) DestroyCache() {
 	fc := c.fc()
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
-	for pn := range fc.pages {
+	for pn, p := range fc.pages {
+		if p.state == pagePresent {
+			p.state = pageGone
+		}
 		fc.vmm.forget(fc, pn)
 	}
 	fc.pages = make(map[int64]*page)
@@ -724,6 +809,7 @@ func (m *Mapping) WriteAt(p []byte, off int64) (int, error) {
 		}
 		n := copy(pg.data[pageOff:], p[done:])
 		pg.dirty = true
+		pg.gen++
 		m.fc.mu.Unlock()
 		done += n
 	}
@@ -731,44 +817,15 @@ func (m *Mapping) WriteAt(p []byte, off int64) (int, error) {
 	return done, nil
 }
 
-// Sync pushes all modified pages of the mapping back to the pager in file
-// order (sequential write-back lets the pager lay blocks out
-// contiguously), keeping them cached.
+// Sync pushes all modified pages of the mapping back to the pager,
+// keeping them cached. Contiguous dirty runs are coalesced into extents
+// and written back through the flush engine (flush.go): extents are handed
+// out in file order (sequential write-back lets the pager lay blocks out
+// contiguously) and flushed concurrently by a bounded worker pool. A page
+// written again mid-flush keeps its dirty bit (page.gen), so no update is
+// ever lost to the old pointer-compare race.
 func (m *Mapping) Sync() error {
-	fc := m.fc
-	fc.mu.Lock()
-	var pns []int64
-	for pn, p := range fc.pages {
-		if p.state == pagePresent && p.dirty {
-			pns = append(pns, pn)
-		}
-	}
-	fc.mu.Unlock()
-	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
-	for _, pn := range pns {
-		fc.mu.Lock()
-		p, ok := fc.pages[pn]
-		if !ok || p.state != pagePresent || !p.dirty {
-			fc.mu.Unlock()
-			continue
-		}
-		data := make([]byte, PageSize)
-		copy(data, p.data)
-		fc.mu.Unlock()
-		t := opPageOut.Start()
-		err := fc.pager.Sync(pn*PageSize, PageSize, data)
-		opPageOut.End(t, PageSize)
-		if err != nil {
-			return err
-		}
-		fc.vmm.PageOuts.Inc()
-		fc.mu.Lock()
-		if p2, ok := fc.pages[pn]; ok && p2 == p {
-			p2.dirty = false
-		}
-		fc.mu.Unlock()
-	}
-	return nil
+	return m.fc.flushRange(0, maxPageNumber, flushSync)
 }
 
 // Unmap releases the mapping. The cache connection persists (other
@@ -777,9 +834,13 @@ func (m *Mapping) Sync() error {
 func (m *Mapping) Unmap() {}
 
 // DropCaches evicts every cached page from every file cache, writing
-// modified pages back to their pagers first. The benchmark harness uses it
-// to measure cold-cache operation costs; it is not part of the paper's
-// architecture.
+// modified pages back to their pagers first. Dirty pages stay cached until
+// their write-back succeeds: with a failing pager nothing is lost (the
+// pages remain resident and dirty, and a racing fault is served from the
+// cache rather than re-reading stale data from the pager), and the
+// remaining caches are still flushed, with all errors accumulated. The
+// benchmark harness uses it to measure cold-cache operation costs; it is
+// not part of the paper's architecture.
 func (v *VMM) DropCaches() error {
 	v.mu.Lock()
 	caches := make([]*FileCache, 0, len(v.caches))
@@ -787,33 +848,23 @@ func (v *VMM) DropCaches() error {
 		caches = append(caches, fc)
 	}
 	v.mu.Unlock()
+	var errs []error
 	for _, fc := range caches {
-		fc.mu.Lock()
-		type dirtyPage struct {
-			pn   int64
-			data []byte
+		// Cluster-flush the dirty pages, evicting each extent's pages as
+		// its write-back succeeds...
+		if err := fc.flushRange(0, maxPageNumber, flushEvict); err != nil {
+			errs = append(errs, err)
 		}
-		var dirty []dirtyPage
+		// ...then drop the clean remainder. Pages whose write-back failed,
+		// or that were dirtied again mid-flush, are still dirty and stay.
+		fc.mu.Lock()
 		for pn, p := range fc.pages {
-			if p.state != pagePresent {
-				continue
+			if p.state == pagePresent && !p.dirty {
+				fc.removePageLocked(pn, p)
 			}
-			if p.dirty {
-				cp := make([]byte, PageSize)
-				copy(cp, p.data)
-				dirty = append(dirty, dirtyPage{pn, cp})
-			}
-			delete(fc.pages, pn)
-			v.forget(fc, pn)
 		}
 		fc.cond.Broadcast()
 		fc.mu.Unlock()
-		sort.Slice(dirty, func(i, j int) bool { return dirty[i].pn < dirty[j].pn })
-		for _, d := range dirty {
-			if err := fc.pageOut(d.pn, d.data); err != nil {
-				return err
-			}
-		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

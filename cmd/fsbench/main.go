@@ -9,6 +9,8 @@
 //	fsbench -table3            # Table 3: monolithic baseline comparison
 //	fsbench -figures           # verify the Figure 5/6/7 coherency claims
 //	fsbench -writeback         # write-back clustering vs page-at-a-time
+//	fsbench -journal           # metadata journaling overhead vs no-journal
+//	fsbench -recovery          # journal replay time at Mount vs journal size
 //	fsbench -all               # everything
 //	fsbench -iters 5000        # iterations per cached row
 //	fsbench -disk1993          # use the full 1993 disk latency model
@@ -28,6 +30,7 @@ import (
 	"springfs"
 	"springfs/internal/bench"
 	"springfs/internal/blockdev"
+	"springfs/internal/disklayer"
 	"springfs/internal/stats"
 )
 
@@ -38,13 +41,15 @@ func main() {
 		figures  = flag.Bool("figures", false, "verify the figure scenarios (5, 6, 7)")
 		macro    = flag.Bool("macro", false, "run the software-build macro workload (the §6.4 open-density argument)")
 		wback    = flag.Bool("writeback", false, "measure write-back clustering (clustered vs page-at-a-time flush)")
+		journal  = flag.Bool("journal", false, "measure metadata journaling overhead against the no-journal baseline")
+		recovery = flag.Bool("recovery", false, "measure journal replay time at Mount against journal size")
 		all      = flag.Bool("all", false, "run everything")
 		iters    = flag.Int("iters", 5000, "iterations per cached row")
 		disk1993 = flag.Bool("disk1993", false, "use the full 1993 disk latency model (slow)")
 		withStat = flag.Bool("stats", false, "append per-layer latency breakdowns (histograms and a captured trace) to the table output")
 	)
 	flag.Parse()
-	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*all {
+	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -82,6 +87,277 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *journal || *all {
+		if err := runJournal(latency, *iters); err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			os.Exit(1)
+		}
+	}
+	if *recovery || *all {
+		if err := runRecovery(); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runJournal measures what the metadata journal costs: the transactional
+// paths (create/remove, write+sync) against the bare write-through
+// baseline, plus the cached-write hot path, which journaling must not
+// touch at all (the acceptance bound is <10%).
+func runJournal(latency blockdev.LatencyProfile, iters int) error {
+	fmt.Println("== Metadata journaling overhead ==")
+	metaIters := iters / 5
+	if metaIters < 200 {
+		metaIters = 200
+	}
+	type result struct {
+		name         string
+		createRemove time.Duration
+		writeSync    time.Duration
+		cachedWr     time.Duration
+	}
+	var results []result
+	for _, journaled := range []bool{false, true} {
+		name := "no journal"
+		if journaled {
+			name = "journaled"
+		}
+		node := springfs.NewNode("jb")
+		sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{Latency: latency})
+		if err != nil {
+			node.Stop()
+			return err
+		}
+		sfs.Disk.SetJournaled(journaled)
+		fs := sfs.FS()
+
+		createRemove, err := bench.MeasureBest(5, metaIters, func(i int) error {
+			if _, err := fs.Create("t.tmp", springfs.Root); err != nil {
+				return err
+			}
+			return fs.Remove("t.tmp", springfs.Root)
+		})
+		if err != nil {
+			node.Stop()
+			return err
+		}
+
+		f, err := fs.Create("s.dat", springfs.Root)
+		if err != nil {
+			node.Stop()
+			return err
+		}
+		buf := make([]byte, springfs.PageSize)
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			node.Stop()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			node.Stop()
+			return err
+		}
+		writeSync, err := bench.MeasureBest(5, metaIters, func(i int) error {
+			if _, err := f.WriteAt(buf, 0); err != nil {
+				return err
+			}
+			return f.Sync()
+		})
+		if err != nil {
+			node.Stop()
+			return err
+		}
+
+		// The cached-write hot path: dirtying an already-mapped page.
+		// Journaling must cost nothing here — no metadata moves.
+		cachedWr, err := bench.MeasureBest(5, iters, func(i int) error {
+			_, err := f.WriteAt(buf, 0)
+			return err
+		})
+		node.Stop()
+		if err != nil {
+			return err
+		}
+		results = append(results, result{name, createRemove, writeSync, cachedWr})
+	}
+
+	base := results[0]
+	fmt.Printf("%-12s %16s %16s %16s\n", "config", "create+remove", "write+sync", "cached write")
+	for _, r := range results {
+		fmt.Printf("%-12s %10s %4.0f%% %10s %4.0f%% %10s %4.0f%%\n", r.name,
+			fmtDur(r.createRemove), 100*ratio(r.createRemove, base.createRemove),
+			fmtDur(r.writeSync), 100*ratio(r.writeSync, base.writeSync),
+			fmtDur(r.cachedWr), 100*ratio(r.cachedWr, base.cachedWr))
+	}
+
+	jr := results[1]
+	fmt.Println("\njournaling claims, checked against the runs above:")
+	check := func(label string, ok bool) {
+		status := "PASS"
+		if !ok {
+			status = "CHECK"
+		}
+		fmt.Printf("  [%s] %s\n", status, label)
+	}
+	check(fmt.Sprintf("cached-write hot path within 10%% of the no-journal baseline (%s vs %s)",
+		fmtDur(jr.cachedWr), fmtDur(base.cachedWr)),
+		float64(jr.cachedWr) < 1.10*float64(base.cachedWr))
+	check(fmt.Sprintf("transactional create+remove pays a bounded factor (<4x: %s vs %s)",
+		fmtDur(jr.createRemove), fmtDur(base.createRemove)),
+		float64(jr.createRemove) < 4*float64(base.createRemove))
+	fmt.Println()
+	return nil
+}
+
+// runRecovery measures Mount-time journal replay as a function of the
+// committed transaction's size: the file system is crashed with an
+// uncheckpointed transaction of ~N record blocks in the journal, and Mount
+// must replay it before the volume is usable.
+func runRecovery() error {
+	fmt.Println("== Recovery: journal replay time at Mount ==")
+	fmt.Printf("%8s %8s %12s\n", "records", "trials", "mount+replay")
+	for _, blocks := range []int{4, 8, 16, 32, 48} {
+		records, d, err := measureReplay(blocks)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %8d %12s\n", records, replayTrials, fmtDur(d))
+	}
+	base, err := measureCleanMount()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %8d %12s  (clean mount, nothing to replay)\n", "-", replayTrials, fmtDur(base))
+	fmt.Println("\nreplay reads the journal region, rewrites the named home blocks, and")
+	fmt.Println("barriers once — time grows with the transaction's record count and")
+	fmt.Println("stays far below a full fsck walk of the image.")
+	fmt.Println()
+	return nil
+}
+
+const replayTrials = 25
+
+// buildCrashedImage formats a volume, then leaves one committed but
+// uncheckpointed transaction of ~dataBlocks+3 records in the journal (the
+// block allocations of a dataBlocks-sized file write).
+func buildCrashedImage(dataBlocks int) (*blockdev.MemDevice, int, error) {
+	dev := blockdev.NewMem(4096, blockdev.ProfileNone)
+	if err := disklayer.Mkfs(dev, disklayer.MkfsOptions{JournalBlocks: 128}); err != nil {
+		return nil, 0, err
+	}
+	node := springfs.NewNode("rec")
+	defer node.Stop()
+	sfs, err := node.MountSFS("r", dev, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := sfs.FS().Create("crash.dat", springfs.Root)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Dirty the pages through a mapping and flush as one extent: the
+	// write-back's block-allocation transaction is then the journal's final
+	// occupant (file-level Sync would seal the inode in a later, tiny txn).
+	node.VMM().SetMaxExtentPages(dataBlocks)
+	m, err := node.VMM().Map(f, springfs.RightsWrite)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := m.WriteAt(make([]byte, dataBlocks*springfs.PageSize), 0); err != nil {
+		return nil, 0, err
+	}
+	sfs.Disk.SetJournalCheckpoint(false)
+	if err := m.Sync(); err != nil {
+		return nil, 0, err
+	}
+	return dev, sfs.Disk.LastTxnRecords(), nil
+}
+
+// measureReplay times Mount on copies of a crashed image whose journal
+// holds a transaction allocating dataBlocks blocks.
+func measureReplay(dataBlocks int) (int, time.Duration, error) {
+	src, records, err := buildCrashedImage(dataBlocks)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := time.Duration(0)
+	for t := 0; t < replayTrials; t++ {
+		cp, err := copyImage(src)
+		if err != nil {
+			return 0, 0, err
+		}
+		node := springfs.NewNode("rec-mount")
+		start := time.Now()
+		if _, err := node.MountSFS("r", cp, false); err != nil {
+			node.Stop()
+			return 0, 0, err
+		}
+		d := time.Since(start)
+		node.Stop()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return records, best, nil
+}
+
+// measureCleanMount times Mount on a cleanly unmounted image (no replay).
+func measureCleanMount() (time.Duration, error) {
+	src := blockdev.NewMem(4096, blockdev.ProfileNone)
+	{
+		if err := disklayer.Mkfs(src, disklayer.MkfsOptions{JournalBlocks: 128}); err != nil {
+			return 0, err
+		}
+		node := springfs.NewNode("rec")
+		sfs, err := node.MountSFS("r", src, false)
+		if err != nil {
+			node.Stop()
+			return 0, err
+		}
+		if _, err := sfs.FS().Create("clean.dat", springfs.Root); err != nil {
+			node.Stop()
+			return 0, err
+		}
+		if err := sfs.FS().SyncFS(); err != nil {
+			node.Stop()
+			return 0, err
+		}
+		node.Stop()
+	}
+	best := time.Duration(0)
+	for t := 0; t < replayTrials; t++ {
+		cp, err := copyImage(src)
+		if err != nil {
+			return 0, err
+		}
+		node := springfs.NewNode("rec-mount")
+		start := time.Now()
+		if _, err := node.MountSFS("r", cp, false); err != nil {
+			node.Stop()
+			return 0, err
+		}
+		d := time.Since(start)
+		node.Stop()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// copyImage clones a RAM-disk image block by block.
+func copyImage(src *blockdev.MemDevice) (*blockdev.MemDevice, error) {
+	dst := blockdev.NewMem(src.NumBlocks(), blockdev.ProfileNone)
+	buf := make([]byte, blockdev.BlockSize)
+	for bn := int64(0); bn < src.NumBlocks(); bn++ {
+		if err := src.ReadBlock(bn, buf); err != nil {
+			return nil, err
+		}
+		if err := dst.WriteBlock(bn, buf); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
 }
 
 // runWriteback measures the clustered write-back engine: a 256-page

@@ -64,6 +64,7 @@ func execute(node *springfs.Node, line string) (quit bool) {
   mkdir <path>                          create a directory
   rm <path>                             remove a binding
   sync <fs-path>                        flush a file system
+  fsck <sfs-name> [-repair]             audit an SFS disk image (and repair it)
   watch <path> audit|readonly           interpose a watchdog on one file (Sec. 5)
   stats [reset]                         show (or zero) counters and latency histograms
   trace <command...>                    run a command with tracing on, print the span tree
@@ -322,6 +323,28 @@ func execute(node *springfs.Node, line string) (quit bool) {
 		}
 		fmt.Print(stats.RenderTrace(spans))
 		return quit
+	case "fsck":
+		repair := false
+		rest := args[1:]
+		if len(rest) > 0 && rest[len(rest)-1] == "-repair" {
+			repair = true
+			rest = rest[:len(rest)-1]
+		}
+		if len(rest) != 1 {
+			fmt.Println("usage: fsck <sfs-name> [-repair]")
+			return
+		}
+		sfs := node.SFS(rest[0])
+		if sfs == nil {
+			fmt.Printf("error: no sfs named %q (see newsfs)\n", rest[0])
+			return
+		}
+		report, err := sfs.Disk.Fsck(repair)
+		if err != nil {
+			fail(err)
+			return
+		}
+		fmt.Print(report)
 	case "sync":
 		if len(args) != 2 {
 			fmt.Println("usage: sync <fs-path>")

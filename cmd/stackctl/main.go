@@ -23,15 +23,19 @@
 //
 //	stackctl -example             # print the example configuration
 //	stackctl -config stack.json   # build the stack and self-test it
+//	stackctl fsck [-repair] img   # audit (and repair) a disk image
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"springfs"
+	"springfs/internal/blockdev"
+	"springfs/internal/disklayer"
 )
 
 // Config is the declarative stack description.
@@ -63,6 +67,9 @@ const example = `{
 `
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		os.Exit(runFsck(os.Args[2:], os.Stdout))
+	}
 	var (
 		configPath  = flag.String("config", "", "stack configuration file (JSON)")
 		exampleFlag = flag.Bool("example", false, "print an example configuration")
@@ -92,6 +99,49 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "stackctl:", err)
 	os.Exit(1)
+}
+
+// runFsck implements `stackctl fsck [-repair] <image>`: the offline audit
+// of a disk-layer image file. Exit status: 0 clean, 1 inconsistencies
+// found (or repair failed to converge), 2 usage or I/O error.
+func runFsck(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	fs.SetOutput(out)
+	repair := fs.Bool("repair", false, "repair the inconsistencies found")
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: stackctl fsck [-repair] <image>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	path := fs.Arg(0)
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintln(out, "stackctl: fsck:", err)
+		return 2
+	}
+	nblocks := info.Size() / blockdev.BlockSize
+	dev, err := blockdev.OpenFile(path, nblocks, blockdev.ProfileNone)
+	if err != nil {
+		fmt.Fprintln(out, "stackctl: fsck:", err)
+		return 2
+	}
+	defer dev.Close()
+	report, err := disklayer.Check(dev, *repair)
+	if err != nil {
+		fmt.Fprintln(out, "stackctl: fsck:", err)
+		return 2
+	}
+	fmt.Fprintf(out, "%s: %s", path, report)
+	if !report.Clean {
+		return 1
+	}
+	return 0
 }
 
 func build(cfg Config) error {

@@ -7,9 +7,9 @@ import (
 )
 
 // allocator manages the block allocation bitmap. The bitmap is kept in
-// memory and written through to the device on every change (the disk layer
-// favours simplicity over journaling; crash consistency is out of scope
-// for the paper and for this reproduction).
+// memory and written through on every change; with journaling on, the
+// write lands in the current metadata transaction (via the write hook), so
+// a crash either applies the whole mutation or none of it.
 //
 // The allocator is not internally locked; DiskFS serialises metadata
 // mutations under its own mutex.
@@ -17,6 +17,9 @@ type allocator struct {
 	dev    blockdev.Device
 	sb     *superblock
 	bitmap []byte // sb.bitmapBlocks * BlockSize bytes
+	// write sinks bitmap block writes; DiskFS points it at metaWrite so
+	// they join the open transaction. Nil means write the device directly.
+	write func(bn int64, buf []byte) error
 	// hint is the next block to consider, making allocation roughly
 	// sequential, which matters under the device's seek model.
 	hint int64
@@ -47,12 +50,18 @@ func (a *allocator) clear(bn int64) { a.bitmap[bn/8] &^= 1 << (bn % 8) }
 // writeBitmapBlock flushes the bitmap block containing bit bn.
 func (a *allocator) writeBitmapBlock(bn int64) error {
 	blk := bn / (BlockSize * 8)
-	return a.dev.WriteBlock(a.sb.bitmapStart+blk, a.bitmap[blk*BlockSize:(blk+1)*BlockSize])
+	buf := a.bitmap[blk*BlockSize : (blk+1)*BlockSize]
+	if a.write != nil {
+		return a.write(a.sb.bitmapStart+blk, buf)
+	}
+	return a.dev.WriteBlock(a.sb.bitmapStart+blk, buf)
 }
 
 // alloc returns a free data block, zeroed on disk by convention (callers
 // overwrite it entirely or rely on free blocks having been zeroed when
-// freed).
+// freed — DiskFS.freeBlock enforces the zeroing, deferred until the
+// freeing transaction is durable; TestFreedBlocksAreZeroedOnDisk is the
+// regression test).
 func (a *allocator) alloc() (int64, error) {
 	if a.sb.freeBlocks == 0 {
 		return 0, ErrNoSpace

@@ -19,8 +19,9 @@ type dirEntry struct {
 	ino  uint64
 }
 
-// readFileData reads the first length bytes of an inode's data. Caller
-// holds fs.mu.
+// readFileData reads the first length bytes of an inode's data, observing
+// blocks staged in the open transaction (directory content is metadata and
+// travels through the journal). Caller holds fs.mu.
 func (fs *DiskFS) readFileData(ci *cachedInode) ([]byte, error) {
 	out := make([]byte, ci.in.length)
 	buf := make([]byte, BlockSize)
@@ -36,7 +37,7 @@ func (fs *DiskFS) readFileData(ci *cachedInode) ([]byte, error) {
 		if bn == 0 {
 			continue // hole reads as zeros
 		}
-		if err := fs.dev.ReadBlock(bn, buf); err != nil {
+		if err := fs.metaRead(bn, buf); err != nil {
 			return nil, err
 		}
 		copy(out[off:off+n], buf)
@@ -44,7 +45,11 @@ func (fs *DiskFS) readFileData(ci *cachedInode) ([]byte, error) {
 	return out, nil
 }
 
-// writeFileData replaces the inode's data with data. Caller holds fs.mu.
+// writeFileData replaces the inode's data with data. It is used only for
+// directory content, which is metadata: the blocks are staged in the open
+// transaction so a crash applies the whole rewrite or none of it (the
+// content must never disagree with the length stored in the inode). Caller
+// holds fs.mu.
 func (fs *DiskFS) writeFileData(ci *cachedInode, data []byte) error {
 	if err := fs.truncateLocked(ci, int64(len(data))); err != nil {
 		return err
@@ -59,7 +64,7 @@ func (fs *DiskFS) writeFileData(ci *cachedInode, data []byte) error {
 			buf[i] = 0
 		}
 		copy(buf, data[off:])
-		if err := fs.dev.WriteBlock(bn, buf); err != nil {
+		if err := fs.metaWrite(bn, buf); err != nil {
 			return err
 		}
 	}

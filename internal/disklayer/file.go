@@ -54,7 +54,8 @@ func (f *diskFile) GetLength() (vm.Offset, error) {
 	return ci.in.length, nil
 }
 
-// SetLength implements vm.MemoryObject.
+// SetLength implements vm.MemoryObject. A shrink frees blocks, which is a
+// journaled metadata mutation.
 func (f *diskFile) SetLength(length vm.Offset) error {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
@@ -63,7 +64,9 @@ func (f *diskFile) SetLength(length vm.Offset) error {
 		return err
 	}
 	if length < ci.in.length {
-		return f.fs.truncateLocked(ci, length)
+		return f.fs.withTxn(func() error {
+			return f.fs.truncateLocked(ci, length)
+		})
 	}
 	ci.in.length = length
 	ci.in.mtime = f.fs.now()
@@ -132,7 +135,7 @@ func (f *diskFile) Stat() (fsys.Attributes, error) {
 }
 
 // Sync implements fsys.File: push cached modified pages to the pager (the
-// disk) and write the inode back.
+// disk) and write the inode back (a one-inode journal transaction).
 func (f *diskFile) Sync() error {
 	if err := f.io.Sync(); err != nil {
 		return err
@@ -143,7 +146,9 @@ func (f *diskFile) Sync() error {
 	if err != nil {
 		return err
 	}
-	return f.fs.writeInode(ci)
+	return f.fs.withTxn(func() error {
+		return f.fs.writeInode(ci)
+	})
 }
 
 // diskPager is the per-file fs_pager of the disk layer. Page-ins and
@@ -265,16 +270,33 @@ func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
 		bn  int64 // device block
 		fbn int64 // file block
 	}
+	// Map (and allocate) the extent's blocks inside a metadata transaction:
+	// the bitmap bits, pointer blocks, and inode image commit atomically,
+	// and the commit lands *before* the data writes below — so the journal
+	// slot's staged zero images can never checkpoint over fresh data, and a
+	// crash that discards the transaction leaves the old file intact. A wide
+	// extent can allocate more blocks than one transaction holds, so the
+	// loop splits at self-consistent points (a partially allocated tail is
+	// just zeroed blocks). Durability of the data itself comes from the
+	// caller's eventual SyncFS barrier.
 	var reqs []ioReq
-	for fbn := offset / BlockSize; fbn*BlockSize < offset+size; fbn++ {
-		bn, err := fs.bmap(ci, fbn, true)
-		if err != nil {
-			fs.mu.Unlock()
-			return err
+	err = fs.withTxn(func() error {
+		for fbn := offset / BlockSize; fbn*BlockSize < offset+size; fbn++ {
+			bn, err := fs.bmap(ci, fbn, true)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, ioReq{bn: bn, fbn: fbn})
+			if err := fs.txnMaybeSplit(ci); err != nil {
+				return err
+			}
 		}
-		reqs = append(reqs, ioReq{bn: bn, fbn: fbn})
-	}
+		return nil
+	})
 	fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	rr, canRun := fs.dev.(blockdev.RunReader)
 	srcFor := func(fbn int64) []byte {
 		return data[fbn*BlockSize-offset : (fbn+1)*BlockSize-offset]
@@ -335,7 +357,9 @@ func (p *diskPager) SetAttributes(attrs fsys.Attributes) error {
 		return err
 	}
 	if attrs.Length < ci.in.length {
-		if err := fs.truncateLocked(ci, attrs.Length); err != nil {
+		if err := fs.withTxn(func() error {
+			return fs.truncateLocked(ci, attrs.Length)
+		}); err != nil {
 			return err
 		}
 	} else {

@@ -13,7 +13,8 @@
 // On-disk layout (block size 4096, matching the VM page size):
 //
 //	block 0:              superblock
-//	blocks 1..b:          block allocation bitmap
+//	blocks 1..j:          metadata journal (commit block + record blocks)
+//	blocks j+1..b:        block allocation bitmap
 //	blocks b+1..i:        inode table (32 inodes per block)
 //	blocks i+1..N:        data blocks
 //
@@ -38,8 +39,9 @@ const BlockSize = blockdev.BlockSize
 // Magic identifies a disklayer superblock.
 const Magic = 0x5350524e_47465331 // "SPRNGFS1"
 
-// Version is the on-disk format version.
-const Version = 1
+// Version is the on-disk format version. Version 2 added the metadata
+// journal region between the superblock and the allocation bitmap.
+const Version = 2
 
 // Layout constants.
 const (
@@ -88,6 +90,9 @@ var (
 	// ErrNameTooLong means a directory entry name exceeds the format
 	// limit.
 	ErrNameTooLong = errors.New("disklayer: name too long")
+	// ErrGeometry means the superblock's recorded geometry does not fit
+	// the device (e.g. a truncated image) or is internally inconsistent.
+	ErrGeometry = errors.New("disklayer: invalid superblock geometry")
 )
 
 // MaxNameLen bounds directory entry names.
@@ -95,18 +100,20 @@ const MaxNameLen = 255
 
 // superblock is the on-disk file system descriptor.
 type superblock struct {
-	magic        uint64
-	version      uint32
-	nblocks      int64 // total device blocks
-	ninodes      int64
-	bitmapStart  int64
-	bitmapBlocks int64
-	itableStart  int64
-	itableBlocks int64
-	dataStart    int64
-	rootIno      uint64
-	freeBlocks   int64
-	freeInodes   int64
+	magic         uint64
+	version       uint32
+	nblocks       int64 // total device blocks
+	ninodes       int64
+	bitmapStart   int64
+	bitmapBlocks  int64
+	itableStart   int64
+	itableBlocks  int64
+	dataStart     int64
+	rootIno       uint64
+	freeBlocks    int64
+	freeInodes    int64
+	journalStart  int64
+	journalBlocks int64
 }
 
 func (sb *superblock) encode(buf []byte) {
@@ -123,6 +130,8 @@ func (sb *superblock) encode(buf []byte) {
 	be.PutUint64(buf[68:], sb.rootIno)
 	be.PutUint64(buf[76:], uint64(sb.freeBlocks))
 	be.PutUint64(buf[84:], uint64(sb.freeInodes))
+	be.PutUint64(buf[92:], uint64(sb.journalStart))
+	be.PutUint64(buf[100:], uint64(sb.journalBlocks))
 }
 
 func (sb *superblock) decode(buf []byte) error {
@@ -145,6 +154,44 @@ func (sb *superblock) decode(buf []byte) error {
 	sb.rootIno = be.Uint64(buf[68:])
 	sb.freeBlocks = int64(be.Uint64(buf[76:]))
 	sb.freeInodes = int64(be.Uint64(buf[84:]))
+	sb.journalStart = int64(be.Uint64(buf[92:]))
+	sb.journalBlocks = int64(be.Uint64(buf[100:]))
+	return nil
+}
+
+// validate checks the superblock's geometry against the device it was read
+// from: region bounds must chain correctly and everything must fit in
+// devBlocks, so a truncated or corrupted image is rejected at Mount with a
+// clear error instead of failing later with an out-of-range I/O.
+func (sb *superblock) validate(devBlocks int64) error {
+	if sb.nblocks > devBlocks {
+		return fmt.Errorf("%w: image records %d blocks but device has only %d (truncated image?)",
+			ErrGeometry, sb.nblocks, devBlocks)
+	}
+	if sb.journalStart != journalSlot || sb.journalBlocks < 2 {
+		return fmt.Errorf("%w: journal region [%d,+%d)", ErrGeometry, sb.journalStart, sb.journalBlocks)
+	}
+	if sb.bitmapStart != sb.journalStart+sb.journalBlocks ||
+		sb.itableStart != sb.bitmapStart+sb.bitmapBlocks ||
+		sb.dataStart != sb.itableStart+sb.itableBlocks {
+		return fmt.Errorf("%w: metadata regions do not chain", ErrGeometry)
+	}
+	if sb.dataStart > sb.nblocks {
+		return fmt.Errorf("%w: metadata extends past the device", ErrGeometry)
+	}
+	if sb.ninodes < 1 || sb.itableBlocks != (sb.ninodes+InodesPerBlock)/InodesPerBlock {
+		return fmt.Errorf("%w: inode table %d blocks for %d inodes", ErrGeometry, sb.itableBlocks, sb.ninodes)
+	}
+	if sb.bitmapBlocks != (sb.nblocks+BlockSize*8-1)/(BlockSize*8) {
+		return fmt.Errorf("%w: bitmap %d blocks for %d device blocks", ErrGeometry, sb.bitmapBlocks, sb.nblocks)
+	}
+	if sb.rootIno != RootIno {
+		return fmt.Errorf("%w: root inode %d", ErrGeometry, sb.rootIno)
+	}
+	if sb.freeBlocks < 0 || sb.freeBlocks > sb.nblocks-sb.dataStart ||
+		sb.freeInodes < 0 || sb.freeInodes >= sb.ninodes {
+		return fmt.Errorf("%w: free counts out of range", ErrGeometry)
+	}
 	return nil
 }
 
@@ -193,6 +240,23 @@ type MkfsOptions struct {
 	// NumInodes sets the inode table size; 0 derives it from the device
 	// size (one inode per 8 data blocks, minimum 64).
 	NumInodes int64
+	// JournalBlocks sets the metadata journal size (commit block plus
+	// record blocks); 0 derives it from the device size.
+	JournalBlocks int64
+}
+
+// journalSize derives the default journal region size: one block per 64
+// device blocks, clamped so tiny devices still fit a useful journal and
+// large ones do not exceed what a single commit block can address.
+func journalSize(nblocks int64) int64 {
+	j := nblocks / 64
+	if j < 10 {
+		j = 10
+	}
+	if j > maxJournalRecords+1 {
+		j = maxJournalRecords + 1
+	}
+	return j
 }
 
 // Mkfs formats dev with an empty file system containing only the root
@@ -209,20 +273,29 @@ func Mkfs(dev blockdev.Device, opts MkfsOptions) error {
 			ninodes = 64
 		}
 	}
+	journalBlocks := opts.JournalBlocks
+	if journalBlocks <= 0 {
+		journalBlocks = journalSize(nblocks)
+	}
+	if journalBlocks < 2 || journalBlocks > maxJournalRecords+1 {
+		return fmt.Errorf("disklayer: journal size %d out of range [2,%d]", journalBlocks, maxJournalRecords+1)
+	}
 	// Inode numbers start at 1; inode 0 is reserved as "null".
 	itableBlocks := (ninodes + InodesPerBlock) / InodesPerBlock
 	bitmapBlocks := (nblocks + BlockSize*8 - 1) / (BlockSize * 8)
 	sb := superblock{
-		magic:        Magic,
-		version:      Version,
-		nblocks:      nblocks,
-		ninodes:      ninodes,
-		bitmapStart:  1,
-		bitmapBlocks: bitmapBlocks,
-		itableStart:  1 + bitmapBlocks,
-		itableBlocks: itableBlocks,
-		dataStart:    1 + bitmapBlocks + itableBlocks,
-		rootIno:      RootIno,
+		magic:         Magic,
+		version:       Version,
+		nblocks:       nblocks,
+		ninodes:       ninodes,
+		journalStart:  journalSlot,
+		journalBlocks: journalBlocks,
+		bitmapStart:   journalSlot + journalBlocks,
+		bitmapBlocks:  bitmapBlocks,
+		itableStart:   journalSlot + journalBlocks + bitmapBlocks,
+		itableBlocks:  itableBlocks,
+		dataStart:     journalSlot + journalBlocks + bitmapBlocks + itableBlocks,
+		rootIno:       RootIno,
 	}
 	if sb.dataStart >= nblocks {
 		return fmt.Errorf("disklayer: device too small for metadata (%d blocks)", nblocks)
@@ -230,8 +303,14 @@ func Mkfs(dev blockdev.Device, opts MkfsOptions) error {
 	sb.freeBlocks = nblocks - sb.dataStart
 	sb.freeInodes = ninodes - 1 // root is allocated
 
-	// Zero the bitmap and mark metadata blocks used.
+	// Zero the journal region; a zero commit block means "no transaction".
 	buf := make([]byte, BlockSize)
+	for b := int64(0); b < journalBlocks; b++ {
+		if err := dev.WriteBlock(sb.journalStart+b, buf); err != nil {
+			return err
+		}
+	}
+	// Zero the bitmap and mark metadata blocks used.
 	for b := int64(0); b < bitmapBlocks; b++ {
 		for i := range buf {
 			buf[i] = 0

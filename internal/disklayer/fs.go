@@ -2,6 +2,7 @@ package disklayer
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -40,16 +41,19 @@ type DiskFS struct {
 	table  *fsys.ConnectionTable
 	clock  func() time.Time
 
-	mu     sync.Mutex
-	sb     superblock
-	alloc  *allocator
-	icache map[uint64]*cachedInode
-	dcache map[uint64][]dirEntry
-	mcache map[int64][]int64 // indirect (pointer) blocks
-	files  map[uint64]*diskFile
-	dirs   map[uint64]*diskDir
-	zero   []byte
-	closed bool
+	mu        sync.Mutex
+	sb        superblock
+	alloc     *allocator
+	jnl       *journal
+	txn       *txn // open metadata transaction, nil between operations
+	journaled bool
+	icache    map[uint64]*cachedInode
+	dcache    map[uint64][]dirEntry
+	mcache    map[int64][]int64 // indirect (pointer) blocks
+	files     map[uint64]*diskFile
+	dirs      map[uint64]*diskDir
+	zero      []byte
+	closed    bool
 }
 
 var (
@@ -60,33 +64,60 @@ var (
 // Mount opens a formatted device. The disk layer's objects are served from
 // domain; vmm is the node's VMM, used to implement read/write operations
 // through mappings.
+//
+// Mount is the recovery point: it replays a committed journal transaction
+// left by a crash (discarding torn tails) before loading any state, and it
+// validates the superblock's geometry against the device so a truncated
+// image fails with a clear ErrGeometry error instead of out-of-range I/O
+// later.
 func Mount(dev blockdev.Device, domain *spring.Domain, vmm *vm.VMM, name string) (*DiskFS, error) {
 	buf := make([]byte, BlockSize)
 	if err := dev.ReadBlock(0, buf); err != nil {
 		return nil, err
 	}
 	fs := &DiskFS{
-		name:   name,
-		dev:    dev,
-		domain: domain,
-		vmm:    vmm,
-		table:  fsys.NewConnectionTable(domain),
-		clock:  time.Now,
-		icache: make(map[uint64]*cachedInode),
-		dcache: make(map[uint64][]dirEntry),
-		mcache: make(map[int64][]int64),
-		files:  make(map[uint64]*diskFile),
-		dirs:   make(map[uint64]*diskDir),
-		zero:   make([]byte, BlockSize),
+		name:      name,
+		dev:       dev,
+		domain:    domain,
+		vmm:       vmm,
+		table:     fsys.NewConnectionTable(domain),
+		clock:     time.Now,
+		journaled: true,
+		icache:    make(map[uint64]*cachedInode),
+		dcache:    make(map[uint64][]dirEntry),
+		mcache:    make(map[int64][]int64),
+		files:     make(map[uint64]*diskFile),
+		dirs:      make(map[uint64]*diskDir),
+		zero:      make([]byte, BlockSize),
 	}
-	if err := fs.sb.decode(buf); err != nil {
+	sbErr := fs.sb.decode(buf)
+	// Replay before trusting the superblock: a crash mid-checkpoint can
+	// leave the in-place superblock copy torn, with the good image sitting
+	// in the journal (the slot address is a format constant, so replay
+	// does not need the superblock).
+	replayed, err := replayJournal(dev)
+	if err != nil {
+		return nil, fmt.Errorf("disklayer: journal replay: %w", err)
+	}
+	if replayed {
+		if err := dev.ReadBlock(0, buf); err != nil {
+			return nil, err
+		}
+		sbErr = fs.sb.decode(buf)
+	}
+	if sbErr != nil {
+		return nil, sbErr
+	}
+	if err := fs.sb.validate(dev.NumBlocks()); err != nil {
 		return nil, err
 	}
 	alloc, err := loadAllocator(dev, &fs.sb)
 	if err != nil {
 		return nil, err
 	}
+	alloc.write = fs.metaWrite
 	fs.alloc = alloc
+	fs.jnl = &journal{dev: dev, sb: &fs.sb, checkpoint: true}
 	return fs, nil
 }
 
@@ -101,6 +132,38 @@ func (fs *DiskFS) Domain() *spring.Domain { return fs.domain }
 
 // Device returns the underlying block device.
 func (fs *DiskFS) Device() blockdev.Device { return fs.dev }
+
+// Geometry describes the on-disk region layout, for tools (fsck tests,
+// image inspectors) that need to address raw metadata without duplicating
+// format math.
+type Geometry struct {
+	NBlocks       int64
+	NInodes       int64
+	JournalStart  int64
+	JournalBlocks int64
+	BitmapStart   int64
+	BitmapBlocks  int64
+	ItableStart   int64
+	ItableBlocks  int64
+	DataStart     int64
+}
+
+// Geometry returns the mounted file system's region layout.
+func (fs *DiskFS) Geometry() Geometry {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return Geometry{
+		NBlocks:       fs.sb.nblocks,
+		NInodes:       fs.sb.ninodes,
+		JournalStart:  fs.sb.journalStart,
+		JournalBlocks: fs.sb.journalBlocks,
+		BitmapStart:   fs.sb.bitmapStart,
+		BitmapBlocks:  fs.sb.bitmapBlocks,
+		ItableStart:   fs.sb.itableStart,
+		ItableBlocks:  fs.sb.itableBlocks,
+		DataStart:     fs.sb.dataStart,
+	}
+}
 
 // FreeBlocks returns the free data block count.
 func (fs *DiskFS) FreeBlocks() int64 {
@@ -157,22 +220,30 @@ func (fs *DiskFS) Create(name string, cred naming.Credentials) (fsys.File, error
 	if fs.closed {
 		return nil, fsys.ErrClosed
 	}
-	dirIno, last, err := fs.walkDir(name)
-	if err != nil {
-		return nil, err
-	}
-	ci, err := fs.allocInode(ModeFile)
-	if err != nil {
-		return nil, err
-	}
-	if err := fs.dirInsert(dirIno, last, ci.ino); err != nil {
-		ferr := fs.freeInode(ci.ino)
-		if ferr != nil {
-			return nil, fmt.Errorf("%w (cleanup failed: %v)", err, ferr)
+	var f *diskFile
+	err := fs.withTxn(func() error {
+		dirIno, last, err := fs.walkDir(name)
+		if err != nil {
+			return err
 		}
+		ci, err := fs.allocInode(ModeFile)
+		if err != nil {
+			return err
+		}
+		if err := fs.dirInsert(dirIno, last, ci.ino); err != nil {
+			ferr := fs.freeInode(ci.ino)
+			if ferr != nil {
+				return fmt.Errorf("%w (cleanup failed: %v)", err, ferr)
+			}
+			return err
+		}
+		f = fs.fileForLocked(ci.ino)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return fs.fileForLocked(ci.ino), nil
+	return f, nil
 }
 
 // Open implements fsys.FS.
@@ -193,53 +264,98 @@ func (fs *DiskFS) Remove(name string, cred naming.Credentials) error {
 	if fs.closed {
 		return fsys.ErrClosed
 	}
-	dirIno, last, err := fs.walkDir(name)
-	if err != nil {
-		return err
-	}
-	ino, err := fs.dirLookup(dirIno, last)
-	if err != nil {
-		return err
-	}
-	ci, err := fs.readInode(ino)
-	if err != nil {
-		return err
-	}
-	if ci.in.mode == ModeDir {
-		entries, _, derr := fs.dirEntries(ino)
-		if derr != nil {
-			return derr
+	return fs.withTxn(func() error {
+		dirIno, last, err := fs.walkDir(name)
+		if err != nil {
+			return err
 		}
-		if len(entries) > 0 {
-			return ErrDirNotEmpty
+		ino, err := fs.dirLookup(dirIno, last)
+		if err != nil {
+			return err
 		}
-	}
-	if _, err := fs.dirRemove(dirIno, last); err != nil {
-		return err
-	}
-	if err := fs.freeInode(ino); err != nil {
-		return err
-	}
-	delete(fs.files, ino)
-	delete(fs.dirs, ino)
-	return nil
+		ci, err := fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		if ci.in.mode == ModeDir {
+			entries, _, derr := fs.dirEntries(ino)
+			if derr != nil {
+				return derr
+			}
+			if len(entries) > 0 {
+				return ErrDirNotEmpty
+			}
+		}
+		if _, err := fs.dirRemove(dirIno, last); err != nil {
+			return err
+		}
+		if err := fs.freeInode(ino); err != nil {
+			return err
+		}
+		delete(fs.files, ino)
+		delete(fs.dirs, ino)
+		return nil
+	})
 }
 
-// SyncFS implements fsys.FS: flush dirty inodes and the superblock.
+// SyncFS implements fsys.FS: flush dirty inodes and the superblock, then
+// barrier the device. With journaling on, the dirty inodes go down in
+// capacity-bounded transactions (each batch is a pure inode write-back, so
+// any prefix of batches is a consistent on-disk state), and a final "seal"
+// transaction writes the superblock. The seal also maintains an invariant
+// the recovery path relies on: after a successful SyncFS the journal slot
+// holds a transaction whose records are all metadata, so a later replay
+// can never re-zero data blocks that this sync made durable.
 func (fs *DiskFS) SyncFS() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	var dirty []*cachedInode
 	for _, ci := range fs.icache {
 		if ci.dirty {
+			dirty = append(dirty, ci)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].ino < dirty[j].ino })
+	if fs.journaled {
+		batch := fs.jnl.capacity() - 2
+		if batch < 1 {
+			batch = 1
+		}
+		for i := 0; i < len(dirty); i += batch {
+			end := i + batch
+			if end > len(dirty) {
+				end = len(dirty)
+			}
+			group := dirty[i:end]
+			if err := fs.withTxn(func() error {
+				for _, ci := range group {
+					if err := fs.writeInode(ci); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		if err := fs.withTxn(func() error {
+			buf := make([]byte, BlockSize)
+			fs.sb.encode(buf)
+			return fs.metaWrite(0, buf)
+		}); err != nil {
+			return err
+		}
+	} else {
+		for _, ci := range dirty {
 			if err := fs.writeInode(ci); err != nil {
 				return err
 			}
 		}
-	}
-	buf := make([]byte, BlockSize)
-	fs.sb.encode(buf)
-	if err := fs.dev.WriteBlock(0, buf); err != nil {
-		return err
+		buf := make([]byte, BlockSize)
+		fs.sb.encode(buf)
+		if err := fs.dev.WriteBlock(0, buf); err != nil {
+			return err
+		}
 	}
 	return fs.dev.Flush()
 }
@@ -366,23 +482,26 @@ func (d *diskDir) Bind(name string, obj naming.Object, cred naming.Credentials) 
 	if f, ok := obj.(*diskFile); ok && f.fs == d.fs {
 		d.fs.mu.Lock()
 		defer d.fs.mu.Unlock()
-		parts, err := naming.SplitName(name)
-		if err != nil {
-			return err
-		}
-		if len(parts) != 1 {
-			return naming.ErrBadName
-		}
-		ci, err := d.fs.readInode(f.ino)
-		if err != nil {
-			return err
-		}
-		if err := d.fs.dirInsert(d.ino, parts[0], f.ino); err != nil {
-			return err
-		}
-		ci.in.nlink++
-		ci.dirty = true
-		return nil
+		return d.fs.withTxn(func() error {
+			parts, err := naming.SplitName(name)
+			if err != nil {
+				return err
+			}
+			if len(parts) != 1 {
+				return naming.ErrBadName
+			}
+			ci, err := d.fs.readInode(f.ino)
+			if err != nil {
+				return err
+			}
+			if err := d.fs.dirInsert(d.ino, parts[0], f.ino); err != nil {
+				return err
+			}
+			ci.in.nlink++
+			ci.dirty = true
+			d.fs.txnRegister(ci)
+			return nil
+		})
 	}
 	return fmt.Errorf("disklayer: cannot bind foreign objects into an on-disk directory")
 }
@@ -392,44 +511,47 @@ func (d *diskDir) Bind(name string, obj naming.Object, cred naming.Credentials) 
 func (d *diskDir) Unbind(name string, cred naming.Credentials) error {
 	d.fs.mu.Lock()
 	defer d.fs.mu.Unlock()
-	parts, err := naming.SplitName(name)
-	if err != nil {
-		return err
-	}
-	if len(parts) != 1 {
-		return naming.ErrBadName
-	}
-	ino, err := d.fs.dirLookup(d.ino, parts[0])
-	if err != nil {
-		return fmt.Errorf("%w: %q", naming.ErrNotFound, parts[0])
-	}
-	ci, err := d.fs.readInode(ino)
-	if err != nil {
-		return err
-	}
-	if ci.in.mode == ModeDir {
-		entries, _, derr := d.fs.dirEntries(ino)
-		if derr != nil {
-			return derr
+	return d.fs.withTxn(func() error {
+		parts, err := naming.SplitName(name)
+		if err != nil {
+			return err
 		}
-		if len(entries) > 0 {
-			return ErrDirNotEmpty
+		if len(parts) != 1 {
+			return naming.ErrBadName
 		}
-	}
-	if _, err := d.fs.dirRemove(d.ino, parts[0]); err != nil {
-		return err
-	}
-	if ci.in.nlink > 1 {
-		ci.in.nlink--
-		ci.dirty = true
+		ino, err := d.fs.dirLookup(d.ino, parts[0])
+		if err != nil {
+			return fmt.Errorf("%w: %q", naming.ErrNotFound, parts[0])
+		}
+		ci, err := d.fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		if ci.in.mode == ModeDir {
+			entries, _, derr := d.fs.dirEntries(ino)
+			if derr != nil {
+				return derr
+			}
+			if len(entries) > 0 {
+				return ErrDirNotEmpty
+			}
+		}
+		if _, err := d.fs.dirRemove(d.ino, parts[0]); err != nil {
+			return err
+		}
+		if ci.in.nlink > 1 {
+			ci.in.nlink--
+			ci.dirty = true
+			d.fs.txnRegister(ci)
+			return nil
+		}
+		if err := d.fs.freeInode(ino); err != nil {
+			return err
+		}
+		delete(d.fs.files, ino)
+		delete(d.fs.dirs, ino)
 		return nil
-	}
-	if err := d.fs.freeInode(ino); err != nil {
-		return err
-	}
-	delete(d.fs.files, ino)
-	delete(d.fs.dirs, ino)
-	return nil
+	})
 }
 
 // List implements naming.Context.
@@ -462,28 +584,36 @@ func (d *diskDir) List(cred naming.Credentials) ([]naming.Binding, error) {
 func (d *diskDir) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
 	d.fs.mu.Lock()
 	defer d.fs.mu.Unlock()
-	parts, err := naming.SplitName(name)
-	if err != nil {
-		return nil, err
-	}
-	dirIno := d.ino
-	for _, p := range parts[:len(parts)-1] {
-		dirIno, err = d.fs.dirLookup(dirIno, p)
+	var out *diskDir
+	err := d.fs.withTxn(func() error {
+		parts, err := naming.SplitName(name)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %q", naming.ErrNotFound, p)
+			return err
 		}
-	}
-	ci, err := d.fs.allocInode(ModeDir)
+		dirIno := d.ino
+		for _, p := range parts[:len(parts)-1] {
+			dirIno, err = d.fs.dirLookup(dirIno, p)
+			if err != nil {
+				return fmt.Errorf("%w: %q", naming.ErrNotFound, p)
+			}
+		}
+		ci, err := d.fs.allocInode(ModeDir)
+		if err != nil {
+			return err
+		}
+		if err := d.fs.dirInsert(dirIno, parts[len(parts)-1], ci.ino); err != nil {
+			if ferr := d.fs.freeInode(ci.ino); ferr != nil {
+				return fmt.Errorf("%w (cleanup failed: %v)", err, ferr)
+			}
+			return err
+		}
+		out = d.fs.dirForLocked(ci.ino)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := d.fs.dirInsert(dirIno, parts[len(parts)-1], ci.ino); err != nil {
-		if ferr := d.fs.freeInode(ci.ino); ferr != nil {
-			return nil, fmt.Errorf("%w (cleanup failed: %v)", err, ferr)
-		}
-		return nil, err
-	}
-	return d.fs.dirForLocked(ci.ino), nil
+	return out, nil
 }
 
 // Ino returns the directory's inode number (tests).

@@ -25,7 +25,7 @@ func (fs *DiskFS) readInode(ino uint64) (*cachedInode, error) {
 	}
 	blk := fs.sb.itableStart + int64(ino)/InodesPerBlock
 	buf := make([]byte, BlockSize)
-	if err := fs.dev.ReadBlock(blk, buf); err != nil {
+	if err := fs.metaRead(blk, buf); err != nil {
 		return nil, err
 	}
 	ci := &cachedInode{ino: ino}
@@ -34,16 +34,18 @@ func (fs *DiskFS) readInode(ino uint64) (*cachedInode, error) {
 	return ci, nil
 }
 
-// writeInode flushes a cached inode to the inode table. Caller holds
-// fs.mu.
+// writeInode flushes a cached inode to the inode table (through the open
+// transaction when journaling). The read-modify-write of the shared table
+// block goes through metaRead so that two inodes updated in one
+// transaction do not clobber each other. Caller holds fs.mu.
 func (fs *DiskFS) writeInode(ci *cachedInode) error {
 	blk := fs.sb.itableStart + int64(ci.ino)/InodesPerBlock
 	buf := make([]byte, BlockSize)
-	if err := fs.dev.ReadBlock(blk, buf); err != nil {
+	if err := fs.metaRead(blk, buf); err != nil {
 		return err
 	}
 	ci.in.encode(buf[(int64(ci.ino)%InodesPerBlock)*InodeSize:])
-	if err := fs.dev.WriteBlock(blk, buf); err != nil {
+	if err := fs.metaWrite(blk, buf); err != nil {
 		return err
 	}
 	ci.dirty = false
@@ -102,7 +104,7 @@ func (fs *DiskFS) readPtrBlock(bn int64) ([]int64, error) {
 		return ptrs, nil
 	}
 	buf := make([]byte, BlockSize)
-	if err := fs.dev.ReadBlock(bn, buf); err != nil {
+	if err := fs.metaRead(bn, buf); err != nil {
 		return nil, err
 	}
 	ptrs := make([]int64, PtrsPerBlock)
@@ -120,7 +122,7 @@ func (fs *DiskFS) writePtrBlock(bn int64, ptrs []int64) error {
 	for i, p := range ptrs {
 		binary.BigEndian.PutUint64(buf[8*i:], uint64(p))
 	}
-	if err := fs.dev.WriteBlock(bn, buf); err != nil {
+	if err := fs.metaWrite(bn, buf); err != nil {
 		delete(fs.mcache, bn)
 		return err
 	}
@@ -144,6 +146,9 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 			}
 			ci.in.direct[fbn] = bn
 			ci.dirty = true
+			// The inode's pointers changed; commit must write it with the
+			// bitmap/pointer blocks it references.
+			fs.txnRegister(ci)
 		}
 		return ci.in.direct[fbn], nil
 	}
@@ -160,6 +165,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 			}
 			ci.in.indirect = bn
 			ci.dirty = true
+			fs.txnRegister(ci)
 		}
 		ptrs, err := fs.readPtrBlock(ci.in.indirect)
 		if err != nil {
@@ -189,6 +195,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 		}
 		ci.in.dindirect = bn
 		ci.dirty = true
+		fs.txnRegister(ci)
 	}
 	outer, err := fs.readPtrBlock(ci.in.dindirect)
 	if err != nil {
@@ -226,16 +233,24 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 	return inner[ii], nil
 }
 
-// allocZeroed allocates a data block and zeroes it on the device, so holes
-// materialise as zeros even if the block previously held data. Any stale
-// metadata cache entry for a reused block is dropped.
+// allocZeroed allocates a data block and zeroes it, so holes materialise
+// as zeros even if the block previously held data. The zero image is
+// staged in the transaction, not written in place: the block may still
+// hold committed file content (freed earlier in this same transaction),
+// which must survive if a crash discards the transaction. Any stale
+// metadata cache entry for a reused block is dropped, and a pending
+// deferred zero for it is cancelled — the transaction's record supersedes
+// it.
 func (fs *DiskFS) allocZeroed() (int64, error) {
 	bn, err := fs.alloc.alloc()
 	if err != nil {
 		return 0, err
 	}
 	delete(fs.mcache, bn)
-	if err := fs.dev.WriteBlock(bn, fs.zero); err != nil {
+	if fs.txn != nil {
+		delete(fs.txn.zeroAfter, bn)
+	}
+	if err := fs.metaWrite(bn, fs.zero); err != nil {
 		_ = fs.alloc.free(bn)
 		return 0, err
 	}
@@ -243,8 +258,13 @@ func (fs *DiskFS) allocZeroed() (int64, error) {
 }
 
 // truncateLocked shrinks (or extends) the file to length bytes, freeing
-// whole blocks past the new end. Caller holds fs.mu.
+// whole blocks past the new end. A large truncate can free more blocks
+// than one journal transaction holds, so it splits the transaction at
+// self-consistent points (a file with cleared pointers and freed blocks is
+// a legal intermediate state — the tail is just a hole). Caller holds
+// fs.mu.
 func (fs *DiskFS) truncateLocked(ci *cachedInode, length int64) error {
+	fs.txnRegister(ci)
 	oldBlocks := (ci.in.length + BlockSize - 1) / BlockSize
 	newBlocks := (length + BlockSize - 1) / BlockSize
 	for fbn := newBlocks; fbn < oldBlocks; fbn++ {
@@ -256,7 +276,10 @@ func (fs *DiskFS) truncateLocked(ci *cachedInode, length int64) error {
 			if err := fs.clearPtr(ci, fbn); err != nil {
 				return err
 			}
-			if err := fs.alloc.free(bn); err != nil {
+			if err := fs.freeBlock(bn); err != nil {
+				return err
+			}
+			if err := fs.txnMaybeSplit(ci); err != nil {
 				return err
 			}
 		}
@@ -265,12 +288,15 @@ func (fs *DiskFS) truncateLocked(ci *cachedInode, length int64) error {
 	if newBlocks == 0 {
 		if ci.in.indirect != 0 {
 			delete(fs.mcache, ci.in.indirect)
-			if err := fs.alloc.free(ci.in.indirect); err != nil {
+			if err := fs.freeBlock(ci.in.indirect); err != nil {
 				return err
 			}
 			ci.in.indirect = 0
 		}
 		if ci.in.dindirect != 0 {
+			// Freeing the pointer-block structure only touches bitmap
+			// blocks (deduplicated per transaction) plus the registered
+			// inode, so it fits one transaction without splitting.
 			outer, err := fs.readPtrBlock(ci.in.dindirect)
 			if err != nil {
 				return err
@@ -278,13 +304,13 @@ func (fs *DiskFS) truncateLocked(ci *cachedInode, length int64) error {
 			for _, bn := range outer {
 				if bn != 0 {
 					delete(fs.mcache, bn)
-					if err := fs.alloc.free(bn); err != nil {
+					if err := fs.freeBlock(bn); err != nil {
 						return err
 					}
 				}
 			}
 			delete(fs.mcache, ci.in.dindirect)
-			if err := fs.alloc.free(ci.in.dindirect); err != nil {
+			if err := fs.freeBlock(ci.in.dindirect); err != nil {
 				return err
 			}
 			ci.in.dindirect = 0

@@ -1,0 +1,474 @@
+package disklayer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/stats"
+)
+
+// The disk layer keeps its metadata crash-consistent with a physical redo
+// journal, the standard move for a layered store (Lustre journals metadata
+// transactions at its lowest layer so every layer stacked above inherits
+// durability). Every metadata mutation — block alloc/free, inode
+// create/delete/update, directory add/remove, superblock — is grouped into
+// a transaction and committed with this protocol:
+//
+//  1. The transaction's block images are written to the journal's record
+//     area (blocks journalSlot+1 ..).
+//  2. A commit block naming the home addresses, carrying a sequence number
+//     and a CRC over the header and all record contents, is written to
+//     journalSlot.
+//  3. Barrier (device Flush). The transaction is now durable.
+//  4. The records are checkpointed to their home locations.
+//  5. Barrier. The journal slot may now be reused.
+//
+// Mount (and fsck) replay the journal first: a commit block whose CRC
+// covers intact record blocks is re-applied to its home locations
+// (step 4 is redone — replay is idempotent); anything else is a torn tail
+// from a crash before step 3 and is discarded.
+//
+// The journal is single-slot: it holds at most one transaction, and step 5
+// completes before the slot is reused. This is what makes replay safe
+// without a revocation map: a replayed record could only clobber a block
+// that was freed and recycled *after* the transaction committed, but any
+// such free/realloc is itself a later transaction, which would have taken
+// over the slot. The cost is two barriers per transaction, measured by
+// `fsbench -journal`.
+var (
+	opJournal       = stats.NewOp("disk.journal", stats.BoundaryDirect)
+	journalTxns     = stats.Default.Counter("disk.journal.txns")
+	journalReplayed = stats.Default.Counter("disk.journal.replayed")
+)
+
+// journalSlot is the fixed block address of the journal's commit block in
+// format version 2; record blocks follow it. It is a format constant (not
+// read from the superblock) so that replay can run even when the in-place
+// superblock copy was torn by a crash mid-checkpoint.
+const journalSlot = 1
+
+// journalMagic identifies a commit block.
+const journalMagic = 0x5350524a_4e4c3032 // "SPRJNL02"
+
+// Commit block layout (big-endian):
+//
+//	[0:8]   magic
+//	[8:16]  sequence number
+//	[16:24] record count n
+//	[24:32] CRC-64/ECMA over bytes [8:24], the home addresses, and the
+//	        n record blocks
+//	[32:]   n home block addresses, 8 bytes each
+const commitHdrSize = 32
+
+// maxJournalRecords bounds the records a commit block can name.
+const maxJournalRecords = (BlockSize - commitHdrSize) / 8
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrTxnTooBig means one metadata mutation touched more distinct blocks
+// than the journal region can hold; the operation is refused rather than
+// committed non-atomically.
+var ErrTxnTooBig = errors.New("disklayer: transaction exceeds journal capacity")
+
+// errNoTxn flags a metadata write outside a transaction — a disk layer
+// bug, not a runtime condition.
+var errNoTxn = errors.New("disklayer: metadata write outside a transaction")
+
+// txn accumulates the block images of one metadata mutation. Writes are
+// deduplicated by block address (the last image wins) and reads during the
+// transaction observe them, so read-modify-write cycles inside one
+// operation stay coherent.
+type txn struct {
+	writes map[int64][]byte
+	order  []int64
+	// zeroAfter lists blocks freed by this transaction. They are zeroed
+	// on the device only after the transaction checkpoints: zeroing
+	// earlier would destroy committed file content if the crash discarded
+	// the transaction that freed them.
+	zeroAfter map[int64]bool
+	// inodes are the cached inodes structurally changed by this
+	// transaction (new/cleared block pointers, link counts). They are
+	// written into the transaction at commit so the on-disk inode can
+	// never disagree with a committed bitmap or pointer-block change.
+	inodes map[uint64]*cachedInode
+}
+
+func newTxn() *txn {
+	return &txn{
+		writes:    make(map[int64][]byte),
+		zeroAfter: make(map[int64]bool),
+		inodes:    make(map[uint64]*cachedInode),
+	}
+}
+
+// put buffers a block image, copying buf.
+func (t *txn) put(bn int64, buf []byte) {
+	if _, ok := t.writes[bn]; !ok {
+		t.order = append(t.order, bn)
+		t.writes[bn] = make([]byte, BlockSize)
+	}
+	copy(t.writes[bn], buf)
+}
+
+// journal drives the commit protocol for one mounted DiskFS.
+type journal struct {
+	dev blockdev.Device
+	sb  *superblock
+	seq uint64
+	// checkpoint is normally true; fsbench -recovery disables it so a
+	// committed transaction stays in the journal for Mount to replay.
+	checkpoint  bool
+	lastRecords int
+}
+
+// capacity returns the number of record blocks the journal region holds.
+func (j *journal) capacity() int {
+	c := int(j.sb.journalBlocks) - 1
+	if c > maxJournalRecords {
+		c = maxJournalRecords
+	}
+	return c
+}
+
+// commit runs the journal protocol for t's buffered writes.
+func (j *journal) commit(t *txn) error {
+	n := len(t.order)
+	if n == 0 {
+		return nil
+	}
+	if n > j.capacity() {
+		return fmt.Errorf("%w: %d blocks > %d record slots", ErrTxnTooBig, n, j.capacity())
+	}
+	ot := opJournal.Start()
+	defer func() { opJournal.End(ot, int64(n)*BlockSize) }()
+	for i, bn := range t.order {
+		if err := j.dev.WriteBlock(journalSlot+1+int64(i), t.writes[bn]); err != nil {
+			return err
+		}
+	}
+	cb := make([]byte, BlockSize)
+	be := binary.BigEndian
+	be.PutUint64(cb[0:], journalMagic)
+	be.PutUint64(cb[8:], j.seq)
+	be.PutUint64(cb[16:], uint64(n))
+	for i, bn := range t.order {
+		be.PutUint64(cb[commitHdrSize+8*i:], uint64(bn))
+	}
+	h := crc64.New(crcTable)
+	h.Write(cb[8:24])
+	h.Write(cb[commitHdrSize : commitHdrSize+8*n])
+	for _, bn := range t.order {
+		h.Write(t.writes[bn])
+	}
+	be.PutUint64(cb[24:], h.Sum64())
+	if err := j.dev.WriteBlock(journalSlot, cb); err != nil {
+		return err
+	}
+	// Commit barrier: the transaction (and every earlier buffered write,
+	// including file data it references) becomes durable here.
+	if err := j.dev.Flush(); err != nil {
+		return err
+	}
+	j.seq++
+	j.lastRecords = n
+	journalTxns.Inc()
+	if !j.checkpoint {
+		return nil
+	}
+	for _, bn := range t.order {
+		if err := j.dev.WriteBlock(bn, t.writes[bn]); err != nil {
+			return err
+		}
+	}
+	// Checkpoint barrier: home locations are current, so the slot can be
+	// overwritten by the next transaction.
+	return j.dev.Flush()
+}
+
+// replayJournal re-applies the committed transaction sitting in the
+// journal slot, if any. It needs no superblock (the slot address is a
+// format constant), so it can run even when the in-place superblock copy
+// is torn. Returns whether a transaction was applied. Torn or absent
+// transactions are silently discarded — that is the contract: they never
+// committed.
+func replayJournal(dev blockdev.Device) (bool, error) {
+	nblocks := dev.NumBlocks()
+	if nblocks <= journalSlot+1 {
+		return false, nil
+	}
+	cb := make([]byte, BlockSize)
+	if err := dev.ReadBlock(journalSlot, cb); err != nil {
+		return false, err
+	}
+	be := binary.BigEndian
+	if be.Uint64(cb[0:]) != journalMagic {
+		return false, nil
+	}
+	n := be.Uint64(cb[16:])
+	if n == 0 || n > maxJournalRecords {
+		return false, nil
+	}
+	bns := make([]int64, n)
+	for i := range bns {
+		bns[i] = int64(be.Uint64(cb[commitHdrSize+8*i:]))
+		// A record names the superblock or a block past the record area;
+		// anything else is garbage from a torn commit block.
+		if bns[i] != 0 && bns[i] < journalSlot+1+int64(n) {
+			return false, nil
+		}
+		if bns[i] >= nblocks {
+			return false, nil
+		}
+	}
+	if journalSlot+1+int64(n) > nblocks {
+		return false, nil
+	}
+	records := make([][]byte, n)
+	h := crc64.New(crcTable)
+	h.Write(cb[8:24])
+	h.Write(cb[commitHdrSize : commitHdrSize+8*int(n)])
+	for i := range records {
+		records[i] = make([]byte, BlockSize)
+		if err := dev.ReadBlock(journalSlot+1+int64(i), records[i]); err != nil {
+			return false, err
+		}
+		h.Write(records[i])
+	}
+	if h.Sum64() != be.Uint64(cb[24:]) {
+		return false, nil
+	}
+	// A checkpointed transaction's records already match their home
+	// locations (the normal state after a clean unmount); applying it
+	// again would be a harmless no-op, so skip it and only report replays
+	// that actually recovered something.
+	home := make([]byte, BlockSize)
+	current := true
+	for i, bn := range bns {
+		if err := dev.ReadBlock(bn, home); err != nil {
+			return false, err
+		}
+		if !bytes.Equal(home, records[i]) {
+			current = false
+			break
+		}
+	}
+	if current {
+		return false, nil
+	}
+	for i, bn := range bns {
+		if err := dev.WriteBlock(bn, records[i]); err != nil {
+			return false, err
+		}
+	}
+	if err := dev.Flush(); err != nil {
+		return false, err
+	}
+	journalReplayed.Inc()
+	return true, nil
+}
+
+// eraseJournal invalidates the journal slot. fsck uses it after repairs:
+// replaying a stale transaction over a repaired image could reintroduce
+// the inconsistency.
+func eraseJournal(dev blockdev.Device) error {
+	if dev.NumBlocks() <= journalSlot {
+		return nil
+	}
+	if err := dev.WriteBlock(journalSlot, make([]byte, BlockSize)); err != nil {
+		return err
+	}
+	return dev.Flush()
+}
+
+// --- DiskFS transaction plumbing ------------------------------------------
+
+// metaWrite stages a metadata block write in the current transaction (or
+// writes through directly when journaling is disabled). Caller holds
+// fs.mu.
+func (fs *DiskFS) metaWrite(bn int64, buf []byte) error {
+	if !fs.journaled {
+		return fs.dev.WriteBlock(bn, buf)
+	}
+	if fs.txn == nil {
+		return errNoTxn
+	}
+	fs.txn.put(bn, buf)
+	return nil
+}
+
+// metaRead reads a metadata block, observing writes staged in the current
+// transaction. Caller holds fs.mu.
+func (fs *DiskFS) metaRead(bn int64, buf []byte) error {
+	if fs.txn != nil {
+		if img, ok := fs.txn.writes[bn]; ok {
+			copy(buf, img)
+			return nil
+		}
+	}
+	return fs.dev.ReadBlock(bn, buf)
+}
+
+// txnRegister marks ci structurally changed by the current transaction, so
+// commit writes it back atomically with the bitmap and pointer blocks it
+// references. Caller holds fs.mu.
+func (fs *DiskFS) txnRegister(ci *cachedInode) {
+	if fs.txn != nil {
+		fs.txn.inodes[ci.ino] = ci
+	}
+}
+
+// freeBlock releases bn and schedules it to be zeroed once the freeing
+// transaction is durable (so a discarded transaction cannot have destroyed
+// committed data). Caller holds fs.mu.
+func (fs *DiskFS) freeBlock(bn int64) error {
+	if err := fs.alloc.free(bn); err != nil {
+		return err
+	}
+	if fs.txn != nil {
+		fs.txn.zeroAfter[bn] = true
+	} else if fs.journaled {
+		return errNoTxn
+	} else if err := fs.dev.WriteBlock(bn, fs.zero); err != nil {
+		return err
+	}
+	return nil
+}
+
+// withTxn runs fn inside a metadata transaction and commits it. The
+// transaction commits even when fn fails partway: the disk layer's caches
+// are write-through, so the in-memory state already reflects the partial
+// mutation and the disk must follow it. Only a commit (device) failure
+// leaves the two out of step, in which case the caches are invalidated and
+// reloaded from the device. Caller holds fs.mu.
+func (fs *DiskFS) withTxn(fn func() error) error {
+	if fs.txn != nil {
+		return fn() // nested: the outermost caller commits
+	}
+	fs.txn = newTxn()
+	opErr := fn()
+	if cerr := fs.commitTxn(); cerr != nil {
+		if opErr != nil {
+			return fmt.Errorf("%w (commit also failed: %v)", opErr, cerr)
+		}
+		return cerr
+	}
+	return opErr
+}
+
+// commitTxn finalises the current transaction: registered inodes and the
+// superblock are folded in, the journal protocol runs, and freed blocks
+// are zeroed. Caller holds fs.mu.
+func (fs *DiskFS) commitTxn() error {
+	t := fs.txn
+	if t == nil {
+		return nil
+	}
+	commitErr := func() error {
+		if !fs.journaled {
+			return nil
+		}
+		for _, ci := range t.inodes {
+			if err := fs.writeInode(ci); err != nil {
+				return err
+			}
+		}
+		if len(t.order) == 0 {
+			return nil
+		}
+		sbbuf := make([]byte, BlockSize)
+		fs.sb.encode(sbbuf)
+		t.put(0, sbbuf)
+		return fs.jnl.commit(t)
+	}()
+	fs.txn = nil
+	if commitErr != nil {
+		fs.invalidateCaches()
+		return commitErr
+	}
+	if fs.journaled && !fs.jnl.checkpoint {
+		return nil
+	}
+	for bn := range t.zeroAfter {
+		if err := fs.dev.WriteBlock(bn, fs.zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// txnMaybeSplit commits the current transaction and opens a fresh one when
+// it is close to journal capacity. Long frees (truncating a large file)
+// call it at points where the intermediate state is self-consistent: ci is
+// registered in both halves, so each commit carries the inode image
+// matching its bitmap and pointer-block changes. Caller holds fs.mu.
+func (fs *DiskFS) txnMaybeSplit(ci *cachedInode) error {
+	t := fs.txn
+	if t == nil || !fs.journaled {
+		return nil
+	}
+	if len(t.order) < fs.jnl.capacity()/2 {
+		return nil
+	}
+	if err := fs.commitTxn(); err != nil {
+		return err
+	}
+	fs.txn = newTxn()
+	fs.txnRegister(ci)
+	return nil
+}
+
+// invalidateCaches reloads the disk layer's write-through caches from the
+// device after a failed commit, the one case where memory and disk may
+// disagree. Best-effort: a device that is failing outright will surface
+// errors on the next operation anyway.
+func (fs *DiskFS) invalidateCaches() {
+	fs.icache = make(map[uint64]*cachedInode)
+	fs.dcache = make(map[uint64][]dirEntry)
+	fs.mcache = make(map[int64][]int64)
+	// A committed-but-not-checkpointed transaction may be sitting in the
+	// journal; fold it in before re-reading state.
+	_, _ = replayJournal(fs.dev)
+	buf := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlock(0, buf); err == nil {
+		var sb superblock
+		if sb.decode(buf) == nil {
+			fs.sb = sb
+		}
+	}
+	if a, err := loadAllocator(fs.dev, &fs.sb); err == nil {
+		a.write = fs.metaWrite
+		fs.alloc = a
+	}
+}
+
+// SetJournaled enables or disables metadata journaling (enabled by
+// default). With journaling off the disk layer reverts to bare
+// write-through metadata — the crash-unsafe baseline fsbench -journal
+// measures against.
+func (fs *DiskFS) SetJournaled(on bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.journaled = on
+}
+
+// SetJournalCheckpoint controls whether committed transactions are
+// immediately checkpointed to their home locations (the default). fsbench
+// -recovery disables it so the last committed transaction stays in the
+// journal for the next Mount to replay.
+func (fs *DiskFS) SetJournalCheckpoint(on bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.jnl.checkpoint = on
+}
+
+// LastTxnRecords reports the record count of the most recently committed
+// transaction (benchmarks).
+func (fs *DiskFS) LastTxnRecords() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.jnl.lastRecords
+}

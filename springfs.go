@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"springfs/internal/blockdev"
 	"springfs/internal/cfs"
@@ -143,6 +144,9 @@ type Node struct {
 
 	vmmDomain *spring.Domain
 	nDisks    int
+
+	mu   sync.Mutex
+	sfss map[string]*SFS // assembled SFS instances by name
 }
 
 // NewNode boots a node: nucleus, VMM, and an empty root name space with a
@@ -324,7 +328,24 @@ func (n *Node) mountSFSOn(name string, mem *blockdev.MemDevice, dev blockdev.Dev
 	if err := n.root.Bind("fs/"+name, coh, Root); err != nil {
 		return nil, err
 	}
-	return &SFS{Device: mem, RawDevice: dev, Disk: disk, Coherency: coh, DiskDomain: diskDomain, CohDomain: cohDomain}, nil
+	sfs := &SFS{Device: mem, RawDevice: dev, Disk: disk, Coherency: coh, DiskDomain: diskDomain, CohDomain: cohDomain}
+	n.mu.Lock()
+	if n.sfss == nil {
+		n.sfss = make(map[string]*SFS)
+	}
+	n.sfss[name] = sfs
+	n.mu.Unlock()
+	return sfs, nil
+}
+
+// SFS returns the assembled SFS instance with the given name (as passed to
+// NewSFS/MountSFS/NewPersistentSFS), or nil if none exists. Tools use it
+// to reach below the exported coherency layer — e.g. springsh's fsck needs
+// the disk layer and its device.
+func (n *Node) SFS(name string) *SFS {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sfss[name]
 }
 
 func (n *Node) ensureFSContext() error {

@@ -11,10 +11,15 @@
 //	fsbench -writeback         # write-back clustering vs page-at-a-time
 //	fsbench -journal           # metadata journaling overhead vs no-journal
 //	fsbench -recovery          # journal replay time at Mount vs journal size
+//	fsbench -parallel 16       # cached hot-path scaling up to 16 goroutines
 //	fsbench -all               # everything
 //	fsbench -iters 5000        # iterations per cached row
 //	fsbench -disk1993          # use the full 1993 disk latency model
 //	fsbench -table2 -stats     # append per-layer latency breakdowns + a trace
+//
+// Profiling (combine with any benchmark; see docs/OBSERVABILITY.md):
+//
+//	fsbench -parallel 16 -cpuprofile cpu.out -memprofile mem.out -mutexprofile mutex.out
 //
 // Absolute times reflect the simulation substrate, not 1993 hardware; the
 // claims under test are the *relative* ones the paper makes.
@@ -44,14 +49,28 @@ func main() {
 		journal  = flag.Bool("journal", false, "measure metadata journaling overhead against the no-journal baseline")
 		recovery = flag.Bool("recovery", false, "measure journal replay time at Mount against journal size")
 		all      = flag.Bool("all", false, "run everything")
+		parallN  = flag.Int("parallel", 0, "measure cached hot-path scaling at 1..N goroutines (e.g. -parallel 16)")
 		iters    = flag.Int("iters", 5000, "iterations per cached row")
 		disk1993 = flag.Bool("disk1993", false, "use the full 1993 disk latency model (slow)")
 		withStat = flag.Bool("stats", false, "append per-layer latency breakdowns (histograms and a captured trace) to the table output")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
 	)
 	flag.Parse()
-	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && !*all {
+	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*all {
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopProfiles, err := startProfiles(*cpuProf, *memProf, *mtxProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+	fail := func(section string, err error) {
+		stopProfiles()
+		fmt.Fprintln(os.Stderr, section+":", err)
+		os.Exit(1)
 	}
 	latency := blockdev.ProfileFast
 	if *disk1993 {
@@ -59,46 +78,49 @@ func main() {
 	}
 	if *table2 || *all {
 		if err := runTable2(latency, *iters, *withStat); err != nil {
-			fmt.Fprintln(os.Stderr, "table2:", err)
-			os.Exit(1)
+			fail("table2", err)
 		}
 	}
 	if *table3 || *all {
 		if err := runTable3(latency, *iters, *withStat); err != nil {
-			fmt.Fprintln(os.Stderr, "table3:", err)
-			os.Exit(1)
+			fail("table3", err)
 		}
 	}
 	if *figures || *all {
 		if err := runFigures(); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fail("figures", err)
 		}
 	}
 	if *macro || *all {
 		if err := runMacro(latency); err != nil {
-			fmt.Fprintln(os.Stderr, "macro:", err)
-			os.Exit(1)
+			fail("macro", err)
 		}
 	}
 	if *wback || *all {
 		if err := runWriteback(latency, *iters); err != nil {
-			fmt.Fprintln(os.Stderr, "writeback:", err)
-			os.Exit(1)
+			fail("writeback", err)
 		}
 	}
 	if *journal || *all {
 		if err := runJournal(latency, *iters); err != nil {
-			fmt.Fprintln(os.Stderr, "journal:", err)
-			os.Exit(1)
+			fail("journal", err)
 		}
 	}
 	if *recovery || *all {
 		if err := runRecovery(); err != nil {
-			fmt.Fprintln(os.Stderr, "recovery:", err)
-			os.Exit(1)
+			fail("recovery", err)
 		}
 	}
+	if *parallN > 0 || *all {
+		n := *parallN
+		if n == 0 {
+			n = 16
+		}
+		if err := runParallel(latency, n, *iters); err != nil {
+			fail("parallel", err)
+		}
+	}
+	stopProfiles()
 }
 
 // runJournal measures what the metadata journal costs: the transactional

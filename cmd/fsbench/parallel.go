@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"springfs"
+	"springfs/internal/blockdev"
+	"springfs/internal/stats"
+	"springfs/internal/vm"
+)
+
+// runParallel measures how the cached hot path scales with goroutines.
+// Every op is a 4KB page read or write that hits the VMM page cache — no
+// pager, no simulated disk — so the numbers isolate the hit path itself:
+// the per-file lock, the atomic accessed bit, and the copy. Two access
+// patterns bound the design space: all goroutines hammering one hot file
+// (the shared-mode per-file lock is the contended resource) and each
+// goroutine owning its own file (nothing is shared; the old global LRU
+// mutex made this workload collapse, and the lock-local design must make
+// it scale).
+//
+// Total work is held constant across goroutine counts, so the columns are
+// directly comparable: perfect scaling halves the wall time per doubling.
+func runParallel(latency blockdev.LatencyProfile, maxWorkers, iters int) error {
+	fmt.Println("== Parallel cached hot path ==")
+	procs := runtime.GOMAXPROCS(0)
+	fmt.Printf("GOMAXPROCS=%d, NumCPU=%d\n", procs, runtime.NumCPU())
+
+	counts := []int{}
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		if g <= maxWorkers {
+			counts = append(counts, g)
+		}
+	}
+	if len(counts) == 0 {
+		counts = []int{1}
+	}
+	maxG := counts[len(counts)-1]
+	const pages = 32
+	totalOps := iters * 40
+	if totalOps < maxG {
+		totalOps = maxG
+	}
+
+	node := springfs.NewNode("par")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{Latency: latency})
+	if err != nil {
+		return err
+	}
+	// One mapping per worker at the widest count; workload "1 file" uses
+	// mappings[0] from every goroutine, "N files" gives worker w
+	// mappings[w]. Warm every page so the measured window is hits only.
+	payload := make([]byte, pages*springfs.PageSize)
+	mappings := make([]*vm.Mapping, maxG)
+	for i := range mappings {
+		f, err := sfs.FS().Create(fmt.Sprintf("par%02d.dat", i), springfs.Root)
+		if err != nil {
+			return err
+		}
+		m, err := node.VMM().Map(f, springfs.RightsWrite)
+		if err != nil {
+			return err
+		}
+		if _, err := m.WriteAt(payload, 0); err != nil {
+			return err
+		}
+		if err := m.Sync(); err != nil {
+			return err
+		}
+		mappings[i] = m
+	}
+
+	measure := func(g int, op func(w, i int) error) (float64, error) {
+		per := totalOps / g
+		errs := make([]error, g)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := op(w, i); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return float64(per*g) / elapsed.Seconds(), nil
+	}
+
+	workloads := []struct {
+		name string
+		op   func(g int) func(w, i int) error
+	}{
+		{"read 1 file", func(g int) func(w, i int) error {
+			bufs := makeBufs(g)
+			return func(w, i int) error {
+				_, err := mappings[0].ReadAt(bufs[w], int64((w*13+i)%pages)*springfs.PageSize)
+				return err
+			}
+		}},
+		{"read N files", func(g int) func(w, i int) error {
+			bufs := makeBufs(g)
+			return func(w, i int) error {
+				_, err := mappings[w].ReadAt(bufs[w], int64(i%pages)*springfs.PageSize)
+				return err
+			}
+		}},
+		{"write 1 file", func(g int) func(w, i int) error {
+			bufs := makeBufs(g)
+			return func(w, i int) error {
+				_, err := mappings[0].WriteAt(bufs[w], int64((w*13+i)%pages)*springfs.PageSize)
+				return err
+			}
+		}},
+		{"write N files", func(g int) func(w, i int) error {
+			bufs := makeBufs(g)
+			return func(w, i int) error {
+				_, err := mappings[w].WriteAt(bufs[w], int64(i%pages)*springfs.PageSize)
+				return err
+			}
+		}},
+	}
+
+	missCounter := stats.Default.Counter("vmm.misses")
+	missBefore := missCounter.Value()
+
+	// tput[workload][count index], in ops/sec.
+	tput := make([][]float64, len(workloads))
+	for wi, wl := range workloads {
+		tput[wi] = make([]float64, len(counts))
+		for ci, g := range counts {
+			ops, err := measure(g, wl.op(g))
+			if err != nil {
+				return fmt.Errorf("%s @ %d goroutines: %w", wl.name, g, err)
+			}
+			tput[wi][ci] = ops
+		}
+	}
+	missDelta := missCounter.Value() - missBefore
+
+	fmt.Printf("cached 4KB page ops, %d resident pages/file, %d total ops per cell, Mops/s (speedup vs 1 goroutine):\n\n", pages, totalOps)
+	fmt.Printf("  %-11s", "goroutines")
+	for _, wl := range workloads {
+		fmt.Printf("  %18s", wl.name)
+	}
+	fmt.Println()
+	for ci, g := range counts {
+		fmt.Printf("  %-11d", g)
+		for wi := range workloads {
+			fmt.Printf("  %10.2f (%.2fx)", tput[wi][ci]/1e6, tput[wi][ci]/tput[wi][0])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nvmm.hits=%d vmm.misses=%d vmm.pool.hits=%d (process totals)\n",
+		stats.Default.Counter("vmm.hits").Value(),
+		missCounter.Value(),
+		stats.Default.Counter("vmm.pool.hits").Value())
+
+	fmt.Println("\nscaling claims, checked against the runs above:")
+	check := func(label string, ok bool) {
+		status := "PASS"
+		if !ok {
+			status = "CHECK"
+		}
+		fmt.Printf("  [%s] %s\n", status, label)
+	}
+	check(fmt.Sprintf("warm cached ops never fault (vmm.misses moved by %d during measurement)", missDelta),
+		missDelta == 0)
+	ci8 := -1
+	for ci, g := range counts {
+		if g == 8 {
+			ci8 = ci
+		}
+	}
+	if ci8 >= 0 {
+		speedup := tput[1][ci8] / tput[1][0] // read N files
+		if procs >= 8 {
+			check(fmt.Sprintf("8-goroutine cached reads >= 3x one goroutine across files (%.2fx)", speedup),
+				speedup >= 3)
+		} else {
+			// With fewer CPUs than goroutines there is no parallelism to
+			// win; the honest claim on this host is that oversubscription
+			// does not collapse throughput the way a contended global
+			// mutex does. The >=3x acceptance run needs a multicore host:
+			//   GOMAXPROCS=8 fsbench -parallel 8
+			//   go test -bench Parallel -cpu 8 ./internal/vm/
+			fmt.Printf("  [SKIP] >=3x at 8 goroutines needs >=8 CPUs; this host has GOMAXPROCS=%d\n", procs)
+			check(fmt.Sprintf("no collapse when oversubscribed: 8-goroutine reads >= 0.7x one goroutine (%.2fx)", speedup),
+				speedup >= 0.7)
+		}
+	}
+	return nil
+}
+
+func makeBufs(g int) [][]byte {
+	bufs := make([][]byte, g)
+	for i := range bufs {
+		bufs[i] = make([]byte, springfs.PageSize)
+	}
+	return bufs
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles turns on the requested runtime/pprof profiles and returns
+// a stop function that finishes and writes them. CPU profiling covers the
+// whole run; the heap profile is a snapshot at exit (after a forced GC,
+// so it shows live memory, not garbage); the mutex profile samples every
+// contention event from here to exit. The stop function is safe to call
+// more than once.
+func startProfiles(cpuPath, memPath, mutexPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	if mutexPath != "" {
+		// 1 = record every contention event. fsbench runs are short and
+		// the point is to prove the hot path takes no contended locks.
+		runtime.SetMutexProfileFraction(1)
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			writeProfile := func() error {
+				f, err := os.Create(memPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				runtime.GC()
+				return pprof.Lookup("heap").WriteTo(f, 0)
+			}
+			if err := writeProfile(); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+		if mutexPath != "" {
+			writeProfile := func() error {
+				f, err := os.Create(mutexPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				return pprof.Lookup("mutex").WriteTo(f, 0)
+			}
+			if err := writeProfile(); err != nil {
+				fmt.Fprintln(os.Stderr, "mutexprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}

@@ -152,6 +152,28 @@ func TestStatsShowJournalCounters(t *testing.T) {
 	}
 }
 
+func TestStatsShowHitPathCounters(t *testing.T) {
+	// The hot-path counters are registered eagerly at package init, so
+	// `stats` lists them even before any I/O; after a cached re-read of a
+	// file, the hit counter must have moved.
+	hits := stats.Default.Counter("vmm.hits")
+	before := hits.Value()
+	drive(t, "newsfs sfs0a",
+		"write fs/sfs0a/hot.txt cached contents",
+		"cat fs/sfs0a/hot.txt",
+		"cat fs/sfs0a/hot.txt",
+		"stats")
+	out := stats.Default.String()
+	for _, name := range []string{"vmm.hits", "vmm.misses", "vmm.pool.hits", "vmm.lru.sweeps"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("stats output missing %s:\n%s", name, out)
+		}
+	}
+	if hits.Value() == before {
+		t.Error("vmm.hits did not move across two cached reads")
+	}
+}
+
 func TestFsckCommand(t *testing.T) {
 	node := drive(t,
 		"newsfs sfs0a",

@@ -102,19 +102,39 @@ func newPeer(conn net.Conn, handler func(op Op, payload []byte) ([]byte, error),
 	return p
 }
 
+// frameBufPool recycles writeFrame's assembly buffers. The scratch is
+// strictly send-local: net.Conn implementations copy on Write (netsim
+// queues a copy; TCP copies into the kernel), so the buffer can be reused
+// the moment Write returns. Pooling matters on the DFS payload path —
+// every page-out extent and read reply is assembled into one of these.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // writeFrame sends one frame as a single Write. One Write is one netsim
 // message, so an injected drop loses a whole frame and the stream framing
 // of later traffic survives — which is what makes retry meaningful.
 func (p *peer) writeFrame(f frame) error {
-	buf := make([]byte, 4+1+1+8+len(f.payload))
+	bp := frameBufPool.Get().(*[]byte)
+	need := 4 + 1 + 1 + 8 + len(f.payload)
+	buf := *bp
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
 	binary.BigEndian.PutUint32(buf, uint32(1+1+8+len(f.payload)))
 	buf[4] = f.kind
 	buf[5] = uint8(f.op)
 	binary.BigEndian.PutUint64(buf[6:], f.id)
 	copy(buf[14:], f.payload)
 	p.wmu.Lock()
-	defer p.wmu.Unlock()
 	_, err := p.conn.Write(buf)
+	p.wmu.Unlock()
+	*bp = buf[:0]
+	frameBufPool.Put(bp)
 	return err
 }
 

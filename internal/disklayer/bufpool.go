@@ -1,0 +1,35 @@
+package disklayer
+
+import "sync"
+
+// Metadata scratch-buffer pool.
+//
+// Every metadata read-modify-write (inode table blocks, indirect pointer
+// blocks, directory content, the superblock) stages through a one-block
+// scratch buffer that used to be allocated per call. Those buffers are
+// strictly local: metaRead copies into them, metaWrite copies out of them
+// (the journal stages its own block images, and every blockdev.Device
+// copies on WriteBlock), so they never escape and can be recycled. The
+// disk layer's metadata paths run under fs.mu, but the pool is shared
+// across mounted file systems, so it stays a sync.Pool rather than a
+// single mount-owned buffer.
+var blockBufPool = sync.Pool{
+	New: func() any {
+		return new([BlockSize]byte)
+	},
+}
+
+// getBlockBuf returns a BlockSize scratch buffer with arbitrary contents.
+// Callers that do not overwrite the whole block must clear it first.
+func getBlockBuf() []byte {
+	return blockBufPool.Get().(*[BlockSize]byte)[:]
+}
+
+// putBlockBuf returns a scratch buffer to the pool. The caller must not
+// retain any reference to it.
+func putBlockBuf(buf []byte) {
+	if len(buf) != BlockSize || cap(buf) != BlockSize {
+		return
+	}
+	blockBufPool.Put((*[BlockSize]byte)(buf))
+}

@@ -24,7 +24,8 @@ type dirEntry struct {
 // travels through the journal). Caller holds fs.mu.
 func (fs *DiskFS) readFileData(ci *cachedInode) ([]byte, error) {
 	out := make([]byte, ci.in.length)
-	buf := make([]byte, BlockSize)
+	buf := getBlockBuf()
+	defer putBlockBuf(buf)
 	for off := int64(0); off < ci.in.length; off += BlockSize {
 		bn, err := fs.bmap(ci, off/BlockSize, false)
 		if err != nil {
@@ -54,7 +55,8 @@ func (fs *DiskFS) writeFileData(ci *cachedInode, data []byte) error {
 	if err := fs.truncateLocked(ci, int64(len(data))); err != nil {
 		return err
 	}
-	buf := make([]byte, BlockSize)
+	buf := getBlockBuf()
+	defer putBlockBuf(buf)
 	for off := 0; off < len(data); off += BlockSize {
 		bn, err := fs.bmap(ci, int64(off/BlockSize), true)
 		if err != nil {

@@ -339,7 +339,9 @@ func (fs *DiskFS) SyncFS() error {
 			}
 		}
 		if err := fs.withTxn(func() error {
-			buf := make([]byte, BlockSize)
+			buf := getBlockBuf()
+			defer putBlockBuf(buf)
+			clear(buf)
 			fs.sb.encode(buf)
 			return fs.metaWrite(0, buf)
 		}); err != nil {
@@ -351,7 +353,9 @@ func (fs *DiskFS) SyncFS() error {
 				return err
 			}
 		}
-		buf := make([]byte, BlockSize)
+		buf := getBlockBuf()
+		defer putBlockBuf(buf)
+		clear(buf)
 		fs.sb.encode(buf)
 		if err := fs.dev.WriteBlock(0, buf); err != nil {
 			return err

@@ -24,7 +24,8 @@ func (fs *DiskFS) readInode(ino uint64) (*cachedInode, error) {
 		return ci, nil
 	}
 	blk := fs.sb.itableStart + int64(ino)/InodesPerBlock
-	buf := make([]byte, BlockSize)
+	buf := getBlockBuf()
+	defer putBlockBuf(buf)
 	if err := fs.metaRead(blk, buf); err != nil {
 		return nil, err
 	}
@@ -40,7 +41,8 @@ func (fs *DiskFS) readInode(ino uint64) (*cachedInode, error) {
 // transaction do not clobber each other. Caller holds fs.mu.
 func (fs *DiskFS) writeInode(ci *cachedInode) error {
 	blk := fs.sb.itableStart + int64(ci.ino)/InodesPerBlock
-	buf := make([]byte, BlockSize)
+	buf := getBlockBuf()
+	defer putBlockBuf(buf)
 	if err := fs.metaRead(blk, buf); err != nil {
 		return err
 	}
@@ -103,7 +105,8 @@ func (fs *DiskFS) readPtrBlock(bn int64) ([]int64, error) {
 	if ptrs, ok := fs.mcache[bn]; ok {
 		return ptrs, nil
 	}
-	buf := make([]byte, BlockSize)
+	buf := getBlockBuf()
+	defer putBlockBuf(buf)
 	if err := fs.metaRead(bn, buf); err != nil {
 		return nil, err
 	}
@@ -118,7 +121,8 @@ func (fs *DiskFS) readPtrBlock(bn int64) ([]int64, error) {
 // writePtrBlock writes an indirect block (write-through: the cache and the
 // device stay in step).
 func (fs *DiskFS) writePtrBlock(bn int64, ptrs []int64) error {
-	buf := make([]byte, BlockSize)
+	buf := getBlockBuf()
+	defer putBlockBuf(buf)
 	for i, p := range ptrs {
 		binary.BigEndian.PutUint64(buf[8*i:], uint64(p))
 	}

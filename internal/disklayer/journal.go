@@ -105,13 +105,25 @@ func newTxn() *txn {
 	}
 }
 
-// put buffers a block image, copying buf.
+// put buffers a block image, copying buf (always a full block: that is
+// the metaWrite contract). The image comes from the scratch pool and goes
+// back via release once the commit protocol is done with it.
 func (t *txn) put(bn int64, buf []byte) {
 	if _, ok := t.writes[bn]; !ok {
 		t.order = append(t.order, bn)
-		t.writes[bn] = make([]byte, BlockSize)
+		t.writes[bn] = getBlockBuf()
 	}
 	copy(t.writes[bn], buf)
+}
+
+// release returns the staged block images to the scratch pool. Safe once
+// commit has pushed them to the device (every blockdev.Device copies on
+// WriteBlock) or the transaction is being discarded.
+func (t *txn) release() {
+	for bn, img := range t.writes {
+		putBlockBuf(img)
+		delete(t.writes, bn)
+	}
 }
 
 // journal drives the commit protocol for one mounted DiskFS.
@@ -379,12 +391,15 @@ func (fs *DiskFS) commitTxn() error {
 		if len(t.order) == 0 {
 			return nil
 		}
-		sbbuf := make([]byte, BlockSize)
+		sbbuf := getBlockBuf()
+		defer putBlockBuf(sbbuf)
+		clear(sbbuf) // encode fills only a prefix; the block tail must be zeros
 		fs.sb.encode(sbbuf)
 		t.put(0, sbbuf)
 		return fs.jnl.commit(t)
 	}()
 	fs.txn = nil
+	t.release()
 	if commitErr != nil {
 		fs.invalidateCaches()
 		return commitErr

@@ -81,6 +81,30 @@ type flushExtent struct {
 	data  []byte // len(pages)*PageSize, copied at snapshot time
 }
 
+// extentBufPool recycles extent assembly buffers. An extent's data is a
+// snapshot copy handed to the pager, and pagers never retain page-out
+// data (the PagerObject contract), so the buffer is free again as soon as
+// the extent settles — or fails. The pool is bounded in practice by flush
+// concurrency times the max extent size.
+var extentBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultMaxExtentPages*PageSize)
+		return &b
+	},
+}
+
+func getExtentBuf() []byte {
+	return (*extentBufPool.Get().(*[]byte))[:0]
+}
+
+// release returns the extent's assembly buffer to the pool. The caller
+// must be done with the write-back and the settle.
+func (ext *flushExtent) release() {
+	b := ext.data[:0]
+	ext.data = nil
+	extentBufPool.Put(&b)
+}
+
 // dirtyExtentsLocked snapshots the dirty present pages in [first, last]
 // into contiguous extents of at most maxPages pages each, in file order.
 // Caller holds fc.mu. The pages stay cached, present, and dirty.
@@ -97,7 +121,7 @@ func (fc *FileCache) dirtyExtentsLocked(first, last int64, maxPages int) []*flus
 			continue
 		}
 		if cur == nil || pn != prev+1 || len(cur.pages) >= maxPages {
-			cur = &flushExtent{start: pn}
+			cur = &flushExtent{start: pn, data: getExtentBuf()}
 			exts = append(exts, cur)
 		}
 		cur.pages = append(cur.pages, flushPage{pn: pn, p: p, gen: p.gen})
@@ -123,7 +147,7 @@ func (fc *FileCache) dirtyRunLocked(pn int64) *flushExtent {
 	for end-start+1 < max && dirtyAt(end+1) {
 		end++
 	}
-	ext := &flushExtent{start: start}
+	ext := &flushExtent{start: start, data: getExtentBuf()}
 	for i := start; i <= end; i++ {
 		p := fc.pages[i]
 		ext.pages = append(ext.pages, flushPage{pn: i, p: p, gen: p.gen})
@@ -191,6 +215,7 @@ func (fc *FileCache) flushExtents(exts []*flushExtent, mode flushMode) error {
 		return nil
 	}
 	flushOne := func(ext *flushExtent) error {
+		defer ext.release()
 		if err := fc.writeExtent(ext, mode); err != nil {
 			return err
 		}

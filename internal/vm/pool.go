@@ -1,0 +1,68 @@
+package vm
+
+import (
+	"sync"
+
+	"springfs/internal/stats"
+)
+
+// Page buffer pool.
+//
+// Every page the VMM caches is backed by a PageSize array, and before this
+// pool each fault, read-ahead install, ZeroFill, and Populate allocated a
+// fresh one — steady-state cache churn (evict one page, fault another) was
+// a steady allocation stream feeding the garbage collector. The pool
+// recycles the backing arrays instead: a buffer returns to the pool when
+// its page leaves the cache, and the next install takes it back out.
+//
+// Recycling a buffer that somebody still reads would be a silent
+// corruption, so reuse leans on the pageGone protocol (see pageState):
+//   - a buffer is put back only after the exclusive cache lock has marked
+//     its page gone and severed page.data, so no shared-lock reader can be
+//     mid-copy at that point;
+//   - every unlocked page reference (Mapping.ReadAt/WriteAt after ensure)
+//     re-validates page.state under the lock before touching data;
+//   - pagers never retain page-out buffers (the PagerObject contract),
+//     so the upgrade-fault path may recycle as soon as PageOut returns.
+//
+// Pooled buffers carry stale contents; paths that expose bytes they did
+// not copy over (ZeroFill, a short Populate tail) must clear them.
+
+var (
+	poolHitsStat   = stats.Default.Counter("vmm.pool.hits")
+	poolMissesStat = stats.Default.Counter("vmm.pool.misses")
+)
+
+// pagePool holds *[PageSize]byte so Put never allocates an interface box
+// for the slice header. No New func: misses are observable (and counted)
+// at the Get site.
+var pagePool sync.Pool
+
+// getPageBuf returns a PageSize buffer with arbitrary contents.
+func getPageBuf() []byte {
+	if v := pagePool.Get(); v != nil {
+		poolHitsStat.Inc()
+		return v.(*[PageSize]byte)[:]
+	}
+	poolMissesStat.Inc()
+	return make([]byte, PageSize)
+}
+
+// getZeroedPageBuf returns a PageSize buffer of zeros.
+func getZeroedPageBuf() []byte {
+	buf := getPageBuf()
+	clear(buf)
+	return buf
+}
+
+// putPageBuf returns a page backing array to the pool. Buffers that are
+// not exactly one full page (nil, or oddly sized test data) are dropped.
+// The caller must guarantee no other goroutine can still reach buf — for
+// cache pages that means the owning page was marked gone under the
+// exclusive lock first.
+func putPageBuf(buf []byte) {
+	if len(buf) != PageSize || cap(buf) != PageSize {
+		return
+	}
+	pagePool.Put((*[PageSize]byte)(buf))
+}

@@ -25,15 +25,24 @@ type VMM struct {
 	caches map[uint64]*FileCache
 	nextID atomic.Uint64
 
-	// Page accounting for eviction. maxPages == 0 means unlimited.
-	maxPages  int
-	pageCount int
-	lru       *list.List // front = most recent; values are lruEntry
-	lruIndex  map[lruKey]*list.Element
+	// Page accounting for eviction. maxPages == 0 means unlimited. Both
+	// are atomics so the hot paths can check the eviction budget without
+	// taking any lock.
+	maxPages  atomic.Int64
+	pageCount atomic.Int64
+
+	// The eviction clock (see maybeEvict): an approximate-LRU ring of all
+	// resident pages. emu is taken only when a page is installed, removed,
+	// or swept — never on a cached hit, which records recency by setting
+	// the per-page accessed bit (page.accessed) lock-free. emu is strictly
+	// inner to any FileCache mutex.
+	emu        sync.Mutex
+	clock      *list.List // front = most recently installed or spared
+	clockIndex map[lruKey]*list.Element
 
 	// Write-back clustering knobs (flush.go). Zero means the default.
-	maxExtent    int // pages coalesced into one write-back extent
-	flushWorkers int // concurrent extent writers per flush
+	maxExtent    atomic.Int64 // pages coalesced into one write-back extent
+	flushWorkers atomic.Int64 // concurrent extent writers per flush
 
 	// Counters observable by tests and the bench harness.
 	PageIns   stats.Counter
@@ -44,6 +53,16 @@ type VMM struct {
 type lruKey struct {
 	fc *FileCache
 	pn int64
+}
+
+// clockEntry is one resident page on the eviction clock. It carries the
+// page identity so the sweep can test-and-clear the accessed bit without
+// taking the owning cache's lock, and so a failed-eviction rotation can
+// verify it is still rotating the element it examined rather than a
+// re-added one (see maybeEvict).
+type clockEntry struct {
+	key lruKey
+	p   *page
 }
 
 // Instrumented operations (docs/OBSERVABILITY.md). These are fault-path
@@ -57,66 +76,69 @@ var (
 	opPageOut = stats.NewOp("vmm.page_out", stats.BoundaryDirect)
 )
 
+// Cached-hit-path counters, registered eagerly so `springsh stats` shows
+// them even before traffic arrives. These are the scaling story of the hit
+// path: hits/misses give the cache ratio, touches.coalesced counts hits
+// that found the accessed bit already set (the touches the old exact LRU
+// would have serialized on a global mutex for), and the lru.* sweep
+// counters expose how hard eviction is working.
+var (
+	hitsStat           = stats.Default.Counter("vmm.hits")
+	missesStat         = stats.Default.Counter("vmm.misses")
+	touchCoalescedStat = stats.Default.Counter("vmm.lru.touches.coalesced")
+	sweepsStat         = stats.Default.Counter("vmm.lru.sweeps")
+	secondChancesStat  = stats.Default.Counter("vmm.lru.second_chances")
+	rotationsStat      = stats.Default.Counter("vmm.lru.rotations")
+)
+
 // New creates a VMM served by domain.
 func New(domain *spring.Domain, name string) *VMM {
 	return &VMM{
-		name:     name,
-		domain:   domain,
-		caches:   make(map[uint64]*FileCache),
-		lru:      list.New(),
-		lruIndex: make(map[lruKey]*list.Element),
+		name:       name,
+		domain:     domain,
+		caches:     make(map[uint64]*FileCache),
+		clock:      list.New(),
+		clockIndex: make(map[lruKey]*list.Element),
 	}
 }
 
 // SetMaxPages bounds the number of resident pages; 0 disables eviction.
 func (v *VMM) SetMaxPages(n int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.maxPages = n
+	v.maxPages.Store(int64(n))
 }
 
 // SetMaxExtentPages bounds how many contiguous dirty pages are coalesced
 // into a single write-back call (flush.go); n <= 0 restores the default,
 // n == 1 disables clustering.
 func (v *VMM) SetMaxExtentPages(n int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.maxExtent = n
+	v.maxExtent.Store(int64(n))
 }
 
 // SetFlushWorkers bounds how many extents a flush writes back concurrently;
 // n <= 0 restores the default, n == 1 makes flushes sequential.
 func (v *VMM) SetFlushWorkers(n int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.flushWorkers = n
+	v.flushWorkers.Store(int64(n))
 }
 
 // maxExtentPageCount returns the effective clustering bound.
 func (v *VMM) maxExtentPageCount() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.maxExtent > 0 {
-		return v.maxExtent
+	if n := v.maxExtent.Load(); n > 0 {
+		return int(n)
 	}
 	return DefaultMaxExtentPages
 }
 
 // flushWorkerCount returns the effective write-back concurrency.
 func (v *VMM) flushWorkerCount() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.flushWorkers > 0 {
-		return v.flushWorkers
+	if n := v.flushWorkers.Load(); n > 0 {
+		return int(n)
 	}
 	return DefaultFlushWorkers
 }
 
 // ResidentPages returns the number of pages currently cached by the VMM.
 func (v *VMM) ResidentPages() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.pageCount
+	return int(v.pageCount.Load())
 }
 
 // ManagerName implements CacheManager.
@@ -171,34 +193,51 @@ func (v *VMM) CacheFor(rights CacheRights) (*FileCache, bool) {
 	return fc, ok
 }
 
-// touch moves (fc, pn) to the front of the LRU. Called with fc.mu held;
-// vmm.mu is strictly inner to any FileCache mutex.
-func (v *VMM) touch(fc *FileCache, pn int64) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+// noteInstalled adds (fc, pn) -> p to the eviction clock, or — when the
+// slot is already tracked because ZeroFill/Populate replaced the page
+// object in place — updates the tracked identity and moves the slot to the
+// front. Called with fc.mu held; v.emu is strictly inner to any FileCache
+// mutex. This is the only LRU bookkeeping left on any page path: cached
+// hits do not come here (they set page.accessed instead), so installs and
+// removals are the only operations that contend on emu.
+func (v *VMM) noteInstalled(fc *FileCache, pn int64, p *page) {
+	v.emu.Lock()
+	defer v.emu.Unlock()
 	k := lruKey{fc, pn}
-	if el, ok := v.lruIndex[k]; ok {
-		v.lru.MoveToFront(el)
+	if el, ok := v.clockIndex[k]; ok {
+		el.Value.(*clockEntry).p = p
+		v.clock.MoveToFront(el)
 		return
 	}
-	v.lruIndex[k] = v.lru.PushFront(k)
-	v.pageCount++
+	v.clockIndex[k] = v.clock.PushFront(&clockEntry{key: k, p: p})
+	v.pageCount.Add(1)
 }
 
-// forget removes (fc, pn) from the LRU. Called with fc.mu held.
+// forget removes (fc, pn) from the eviction clock. Called with fc.mu held.
 func (v *VMM) forget(fc *FileCache, pn int64) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.emu.Lock()
+	defer v.emu.Unlock()
 	k := lruKey{fc, pn}
-	if el, ok := v.lruIndex[k]; ok {
-		v.lru.Remove(el)
-		delete(v.lruIndex, k)
-		v.pageCount--
+	if el, ok := v.clockIndex[k]; ok {
+		v.clock.Remove(el)
+		delete(v.clockIndex, k)
+		v.pageCount.Add(-1)
 	}
 }
 
-// maybeEvict evicts least-recently-used pages until the resident count is
-// within budget. It must be called with no FileCache mutex held.
+// maybeEvict evicts pages until the resident count is within budget, using
+// a second-chance (CLOCK) sweep over the resident ring. It must be called
+// with no FileCache mutex held.
+//
+// The in-budget check is two atomic loads, so the common case costs
+// nothing and takes no lock. The sweep examines the ring from the back —
+// least recently installed or spared. A page whose accessed bit is set was
+// hit since the hand last passed: it is spared, its bit cleared, and it
+// rotates to the front (the "second chance"). A page with the bit clear is
+// evicted. Exactness is traded away deliberately: cached hits record
+// recency as one atomic bit instead of a list move under a global mutex,
+// so the ring order is only approximately LRU — which is all eviction
+// needs, and the coherency protocol never depends on it (DESIGN.md).
 //
 // The scan is bounded to one pass over the resident set: a page whose
 // eviction fails (dirty with a persistently failing page-out — e.g. a dead
@@ -207,33 +246,58 @@ func (v *VMM) forget(fc *FileCache, pn int64) {
 // spinning forever. The budget may be exceeded until evictions succeed
 // again; that is the graceful outcome.
 func (v *VMM) maybeEvict() {
-	v.mu.Lock()
-	budget := v.lru.Len()
-	v.mu.Unlock()
+	max := v.maxPages.Load()
+	if max == 0 || v.pageCount.Load() <= max {
+		return
+	}
+	sweepsStat.Inc()
+	v.emu.Lock()
+	budget := v.clock.Len()
+	v.emu.Unlock()
 	for ; budget > 0; budget-- {
-		v.mu.Lock()
-		if v.maxPages == 0 || v.pageCount <= v.maxPages {
-			v.mu.Unlock()
+		max = v.maxPages.Load()
+		if max == 0 || v.pageCount.Load() <= max {
 			return
 		}
-		el := v.lru.Back()
+		v.emu.Lock()
+		el := v.clock.Back()
 		if el == nil {
-			v.mu.Unlock()
+			v.emu.Unlock()
 			return
 		}
-		k := el.Value.(lruKey)
-		v.mu.Unlock()
+		ent := el.Value.(*clockEntry)
+		if ent.p.accessed.Swap(false) {
+			// Hit since the hand last passed: spare it this pass.
+			v.clock.MoveToFront(el)
+			v.emu.Unlock()
+			secondChancesStat.Inc()
+			continue
+		}
+		k := ent.key
+		v.emu.Unlock()
 		if !k.fc.evict(k.pn) {
-			// The page was busy (faulting) or already gone; move it to
-			// the front so we do not retry it this pass and try the next
-			// victim.
-			v.mu.Lock()
-			if el2, ok := v.lruIndex[k]; ok {
-				v.lru.MoveToFront(el2)
-			}
-			v.mu.Unlock()
+			v.rotateFailedVictim(el, k)
 		}
 	}
+}
+
+// rotateFailedVictim moves a victim whose eviction failed (busy faulting,
+// already gone, or a dead backing store) to the clock front so the sweep
+// does not retry it this pass. It rotates only if the slot still holds
+// the exact element the sweep examined: the page may have been evicted by
+// a concurrent sweep and re-faulted mid-call, and demoting that fresh
+// element would make the just-touched page the next victim. Reports
+// whether it rotated.
+func (v *VMM) rotateFailedVictim(el *list.Element, k lruKey) bool {
+	v.emu.Lock()
+	defer v.emu.Unlock()
+	el2, ok := v.clockIndex[k]
+	if !ok || el2 != el {
+		return false
+	}
+	v.clock.MoveToFront(el2)
+	rotationsStat.Inc()
+	return true
 }
 
 // rightsToken is the VMM's CacheRights implementation.
@@ -252,10 +316,13 @@ const (
 	pagePresent pageState = iota
 	pageFaulting
 	// pageGone marks a page object that was removed from the cache while a
-	// reference to it may still be live: a writer that resolved its fault
-	// against this object re-validates under the lock, sees the state, and
-	// re-faults instead of modifying an orphaned buffer (which would lose
-	// the write silently).
+	// reference to it may still be live: a reader or writer that resolved
+	// its fault against this object re-validates under the lock, sees the
+	// state, and re-faults instead of touching an orphaned buffer. With
+	// pooled page buffers this is also a use-after-recycle guard: a page's
+	// backing array returns to the pool only after the exclusive lock has
+	// marked it gone, and every unlocked reference re-validates the state
+	// before reading or writing the data.
 	pageGone
 )
 
@@ -264,6 +331,11 @@ type page struct {
 	data   []byte // PageSize bytes when present
 	rights Rights
 	dirty  bool
+	// accessed is the CLOCK recency bit: set lock-free on every cached
+	// hit, test-and-cleared by the eviction sweep. This replaces the old
+	// move-to-front on a global LRU, which serialized every cached hit in
+	// the process on one mutex.
+	accessed atomic.Bool
 	// gen counts modifications: it is bumped every time the page is
 	// dirtied. Write-back snapshots (pn, gen, data) under the lock, writes
 	// with the lock released, and clears the dirty bit only if gen did not
@@ -281,6 +353,17 @@ type page struct {
 	epoch uint64
 }
 
+// noteHit records a cached hit: the accessed bit feeds the eviction clock
+// without touching any shared lock. A hit that finds the bit already set
+// is a coalesced touch — work the old exact LRU would have done under the
+// global mutex.
+func (p *page) noteHit() {
+	hitsStat.Inc()
+	if p.accessed.Swap(true) {
+		touchCoalescedStat.Inc()
+	}
+}
+
 // FileCache is the VMM half of one pager-cache connection: the pages the
 // VMM caches for one memory-object backing store, plus the pager object it
 // faults from. Coherency actions from the pager arrive through the
@@ -290,7 +373,12 @@ type FileCache struct {
 	pager PagerObject
 	id    uint64
 
-	mu        sync.Mutex
+	// mu is an RWMutex so cached readers run concurrently: the read hot
+	// path takes the shared lock, validates, copies, and is done. All
+	// mutation — installs, cached writes, coherency actions, flush
+	// settles — takes the exclusive lock, and cond waits on the exclusive
+	// side (sync.Cond over the RWMutex's Lock/Unlock).
+	mu        sync.RWMutex
 	cond      *sync.Cond
 	pages     map[int64]*page
 	destroyed bool
@@ -313,8 +401,8 @@ func (fc *FileCache) SetReadAhead(pages int) {
 
 // PageCount returns the number of present pages.
 func (fc *FileCache) PageCount() int {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
 	n := 0
 	for _, p := range fc.pages {
 		if p.state == pagePresent {
@@ -326,13 +414,49 @@ func (fc *FileCache) PageCount() int {
 
 // PageRights returns the rights of page pn and whether it is present.
 func (fc *FileCache) PageRights(pn int64) (Rights, bool) {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
 	p, ok := fc.pages[pn]
 	if !ok || p.state != pagePresent {
 		return RightsNone, false
 	}
 	return p.rights, true
+}
+
+// readCached is the lock-local cached-read hot path: under the shared lock
+// it looks up pn, validates that the page is present with read rights, and
+// copies out. It takes no global lock, allocates nothing, and runs
+// concurrently with other cached readers on the same file. Returns false
+// when the slow path (ensure) must run.
+func (fc *FileCache) readCached(pn, pageOff int64, dst []byte) (int, bool) {
+	fc.mu.RLock()
+	p, ok := fc.pages[pn]
+	if !ok || p.state != pagePresent || !p.rights.Includes(RightsRead) {
+		fc.mu.RUnlock()
+		return 0, false
+	}
+	n := copy(dst, p.data[pageOff:])
+	fc.mu.RUnlock()
+	p.noteHit()
+	return n, true
+}
+
+// writeCached is the cached-write hot path: one exclusive lock on this
+// file's cache, no global state, no allocation. Returns false when the
+// page is absent or lacks write rights and the slow path must run.
+func (fc *FileCache) writeCached(pn, pageOff int64, src []byte) (int, bool) {
+	fc.mu.Lock()
+	p, ok := fc.pages[pn]
+	if !ok || p.state != pagePresent || !p.rights.CanWrite() {
+		fc.mu.Unlock()
+		return 0, false
+	}
+	n := copy(p.data[pageOff:], src)
+	p.dirty = true
+	p.gen++
+	fc.mu.Unlock()
+	p.noteHit()
+	return n, true
 }
 
 // pageOut writes one page of data back to the pager at pn, recording the
@@ -372,8 +496,8 @@ func (fc *FileCache) ensure(pn int64, want Rights) (*page, error) {
 				continue
 			}
 			if p.rights.Includes(want) {
-				fc.vmm.touch(fc, pn)
 				fc.mu.Unlock()
+				p.noteHit()
 				return p, nil
 			}
 			// Present with insufficient rights: upgrade fault. Modified
@@ -383,15 +507,20 @@ func (fc *FileCache) ensure(pn int64, want Rights) (*page, error) {
 			dirtyData := p.dirty
 			dataCopy := p.data
 			p.state = pageGone
+			p.data = nil
 			fc.pages[pn] = &page{state: pageFaulting}
 			fc.vmm.forget(fc, pn)
 			fc.mu.Unlock()
 			if dirtyData {
 				if err := fc.pageOut(pn, dataCopy); err != nil {
+					putPageBuf(dataCopy)
 					fc.abortFault(pn)
 					return nil, err
 				}
 			}
+			// The pager never retains page-out data (PagerObject contract),
+			// so the orphaned buffer can be recycled now.
+			putPageBuf(dataCopy)
 			goto fault
 		}
 		fc.pages[pn] = &page{state: pageFaulting}
@@ -440,6 +569,7 @@ func (fc *FileCache) fault(pn int64, want Rights) (p *page, retry bool, err erro
 		return nil, false, err
 	}
 	fc.vmm.PageIns.Inc()
+	missesStat.Inc()
 	if len(data) < PageSize || len(data)%PageSize != 0 {
 		err = fmt.Errorf("vm: pager returned %d bytes, want a positive multiple of %d", len(data), PageSize)
 		fc.abortFault(pn)
@@ -461,11 +591,11 @@ func (fc *FileCache) fault(pn int64, want Rights) (p *page, retry bool, err erro
 		}
 		return nil, true, nil
 	}
-	buf := make([]byte, PageSize)
+	buf := getPageBuf()
 	copy(buf, data[:PageSize])
 	p = &page{state: pagePresent, data: buf, rights: want}
 	fc.pages[pn] = p
-	fc.vmm.touch(fc, pn)
+	fc.vmm.noteInstalled(fc, pn, p)
 	// Install any read-ahead surplus the pager returned. Extra pages get
 	// the same rights as the fault that pulled them in.
 	for i := 1; i*PageSize < len(data); i++ {
@@ -493,17 +623,23 @@ func (fc *FileCache) installIfAbsentLocked(pn int64, data []byte, rights Rights)
 	if _, ok := fc.pages[pn]; ok {
 		return
 	}
-	buf := make([]byte, PageSize)
+	buf := getPageBuf()
 	copy(buf, data)
-	fc.pages[pn] = &page{state: pagePresent, data: buf, rights: rights}
-	fc.vmm.touch(fc, pn)
+	p := &page{state: pagePresent, data: buf, rights: rights}
+	fc.pages[pn] = p
+	fc.vmm.noteInstalled(fc, pn, p)
 }
 
 // removePageLocked deletes a present page from the cache, marking the page
-// object gone so racing writers holding a stale reference re-fault (see
-// pageGone). Caller holds fc.mu.
+// object gone so racing readers and writers holding a stale reference
+// re-validate and re-fault (see pageGone), and recycling its backing
+// array. Caller holds fc.mu exclusively — that is what makes the recycle
+// safe: no shared-lock reader can be mid-copy, and every later reference
+// re-validates the state before touching data.
 func (fc *FileCache) removePageLocked(pn int64, p *page) {
 	p.state = pageGone
+	putPageBuf(p.data)
+	p.data = nil
 	delete(fc.pages, pn)
 	fc.vmm.forget(fc, pn)
 }
@@ -537,6 +673,7 @@ func (fc *FileCache) evict(pn int64) bool {
 	}
 	ext := fc.dirtyRunLocked(pn)
 	fc.mu.Unlock()
+	defer ext.release()
 	if err := fc.writeExtent(ext, flushEvict); err != nil {
 		// The pages stay cached and dirty: nothing was lost. The caller
 		// rotates the victim so its sweep stays bounded.
@@ -701,9 +838,12 @@ func (c *vmmCacheObject) ZeroFill(offset, size Offset) {
 	for pn := first; pn <= last; pn++ {
 		if old, ok := fc.pages[pn]; ok && old.state == pagePresent {
 			old.state = pageGone
+			putPageBuf(old.data)
+			old.data = nil
 		}
-		fc.pages[pn] = &page{state: pagePresent, data: make([]byte, PageSize), rights: RightsWrite}
-		fc.vmm.touch(fc, pn)
+		p := &page{state: pagePresent, data: getZeroedPageBuf(), rights: RightsWrite}
+		fc.pages[pn] = p
+		fc.vmm.noteInstalled(fc, pn, p)
 	}
 	fc.cond.Broadcast()
 }
@@ -721,11 +861,15 @@ func (c *vmmCacheObject) Populate(offset, size Offset, access Rights, data []byt
 	for pn := first; pn <= last; pn++ {
 		if old, ok := fc.pages[pn]; ok && old.state == pagePresent {
 			old.state = pageGone
+			putPageBuf(old.data)
+			old.data = nil
 		}
-		buf := make([]byte, PageSize)
-		copy(buf, data[(pn-first)*PageSize:])
-		fc.pages[pn] = &page{state: pagePresent, data: buf, rights: access}
-		fc.vmm.touch(fc, pn)
+		buf := getPageBuf()
+		n := copy(buf, data[(pn-first)*PageSize:])
+		clear(buf[n:]) // pooled buffers carry stale bytes; make() was zeroed
+		p := &page{state: pagePresent, data: buf, rights: access}
+		fc.pages[pn] = p
+		fc.vmm.noteInstalled(fc, pn, p)
 	}
 	fc.cond.Broadcast()
 }
@@ -738,6 +882,8 @@ func (c *vmmCacheObject) DestroyCache() {
 	for pn, p := range fc.pages {
 		if p.state == pagePresent {
 			p.state = pageGone
+			putPageBuf(p.data)
+			p.data = nil
 		}
 		fc.vmm.forget(fc, pn)
 	}
@@ -774,13 +920,25 @@ func (m *Mapping) ReadAt(p []byte, off int64) (int, error) {
 	for done < len(p) {
 		pn := (off + int64(done)) / PageSize
 		pageOff := (off + int64(done)) % PageSize
+		// Hot path: page cached with read rights — shared lock, no global
+		// state, no allocation.
+		if n, ok := m.fc.readCached(pn, pageOff, p[done:]); ok {
+			done += n
+			continue
+		}
 		pg, err := m.fc.ensure(pn, RightsRead)
 		if err != nil {
 			return done, err
 		}
-		m.fc.mu.Lock()
+		m.fc.mu.RLock()
+		// Re-validate under the lock: the page may have been revoked or
+		// evicted — and its buffer recycled — between ensure and here.
+		if pg.state != pagePresent {
+			m.fc.mu.RUnlock()
+			continue
+		}
 		n := copy(p[done:], pg.data[pageOff:])
-		m.fc.mu.Unlock()
+		m.fc.mu.RUnlock()
 		done += n
 	}
 	return done, nil
@@ -796,6 +954,11 @@ func (m *Mapping) WriteAt(p []byte, off int64) (int, error) {
 	for done < len(p) {
 		pn := (off + int64(done)) / PageSize
 		pageOff := (off + int64(done)) % PageSize
+		// Hot path: page cached with write rights — this file's lock only.
+		if n, ok := m.fc.writeCached(pn, pageOff, p[done:]); ok {
+			done += n
+			continue
+		}
 		pg, err := m.fc.ensure(pn, RightsWrite)
 		if err != nil {
 			return done, err

@@ -140,7 +140,7 @@ type testRig struct {
 	vmm         *VMM
 }
 
-func newRig(t *testing.T) *testRig {
+func newRig(t testing.TB) *testRig {
 	t.Helper()
 	node := spring.NewNode("test-node")
 	t.Cleanup(node.Stop)

@@ -341,9 +341,12 @@ func BenchmarkLayerAblation(b *testing.B) {
 // clusters several blocks, so the per-page cost approaches memory copy
 // speed instead of paying per-block device latency.
 func BenchmarkReadAhead(b *testing.B) {
-	for _, extra := range []int{0, 7} {
+	for _, extra := range []int{-1, 0, 7} {
 		name := "Off"
-		if extra > 0 {
+		switch {
+		case extra == 0:
+			name = "Adaptive"
+		case extra > 0:
 			name = "Cluster8"
 		}
 		b.Run(name, func(b *testing.B) {

@@ -12,6 +12,8 @@
 //	fsbench -journal           # metadata journaling overhead vs no-journal
 //	fsbench -recovery          # journal replay time at Mount vs journal size
 //	fsbench -parallel 16       # cached hot-path scaling up to 16 goroutines
+//	fsbench -metaops           # metadata txn throughput under group commit
+//	fsbench -stream            # streaming reads: read-ahead + extent layout
 //	fsbench -all               # everything
 //	fsbench -iters 5000        # iterations per cached row
 //	fsbench -disk1993          # use the full 1993 disk latency model
@@ -50,6 +52,8 @@ func main() {
 		recovery = flag.Bool("recovery", false, "measure journal replay time at Mount against journal size")
 		all      = flag.Bool("all", false, "run everything")
 		parallN  = flag.Int("parallel", 0, "measure cached hot-path scaling at 1..N goroutines (e.g. -parallel 16)")
+		metaops  = flag.Bool("metaops", false, "measure metadata transaction throughput under group commit (1..16 goroutines)")
+		stream   = flag.Bool("stream", false, "measure streaming-read throughput (adaptive read-ahead + extent allocation) against raw device bandwidth")
 		iters    = flag.Int("iters", 5000, "iterations per cached row")
 		disk1993 = flag.Bool("disk1993", false, "use the full 1993 disk latency model (slow)")
 		withStat = flag.Bool("stats", false, "append per-layer latency breakdowns (histograms and a captured trace) to the table output")
@@ -58,7 +62,7 @@ func main() {
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
 	)
 	flag.Parse()
-	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*all {
+	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*metaops && !*stream && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -118,6 +122,16 @@ func main() {
 		}
 		if err := runParallel(latency, n, *iters); err != nil {
 			fail("parallel", err)
+		}
+	}
+	if *metaops || *all {
+		if err := runMetaops(latency, 16, *iters); err != nil {
+			fail("metaops", err)
+		}
+	}
+	if *stream || *all {
+		if err := runStream(latency, *iters); err != nil {
+			fail("stream", err)
 		}
 	}
 	stopProfiles()

@@ -152,6 +152,24 @@ func TestStatsShowJournalCounters(t *testing.T) {
 	}
 }
 
+func TestStatsShowDiskLoadCounters(t *testing.T) {
+	// The group-commit, allocation-placement, and read-ahead counters are
+	// registered eagerly at package init, so `stats` lists them (at zero)
+	// even before any batching, allocation, or prefetch has happened.
+	drive(t, "newsfs sfs0a", "stats")
+	out := stats.Default.String()
+	for _, name := range []string{
+		"disk.journal.batched",
+		"disk.alloc.contig",
+		"disk.readahead.hits",
+		"disk.readahead.wasted",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("stats output missing %s:\n%s", name, out)
+		}
+	}
+}
+
 func TestStatsShowHitPathCounters(t *testing.T) {
 	// The hot-path counters are registered eagerly at package init, so
 	// `stats` lists them even before any I/O; after a cached re-read of a

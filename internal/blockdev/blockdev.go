@@ -12,6 +12,31 @@
 //
 // The device also supports error injection, used by the failure-injection
 // tests of the disk layer and of the mirroring file system.
+//
+// # Devices
+//
+// Device is the interface: ReadBlock/WriteBlock for single blocks,
+// ReadRun/WriteRun for contiguous multi-block transfers that pay one
+// positioning delay for the whole run (what makes extent-clustered
+// write-back and sequential read-ahead worth doing), and Flush as the
+// write barrier — the only durability point the crash model honours.
+//
+//   - NewMem: the latency-modelled RAM disk. The modelled delay is slept
+//     outside the device mutex, so concurrent callers overlap their I/O
+//     latency the way they would against real hardware — group commit's
+//     barrier-sharing is measurable even on one CPU because of this.
+//   - OpenFile: the same model persisted to a backing file.
+//   - NewCrash: CrashDevice, the power-failure harness — a volatile write
+//     cache in front of any device; PowerCut discards it, with optional
+//     torn-write and reorder injection at the cut (see docs/FAILURES.md,
+//     "Crash model & recovery").
+//
+// MemDevice additionally injects errors (FailReads/FailWrites/MarkBad/
+// FailAfter), which the disk layer's and mirrorfs's failure tests use.
+//
+// Latency profiles: Profile1993 approximates the paper's 4400 RPM disk,
+// ProfileFast a modern device, ProfileNone charges nothing (pure
+// functional testing).
 package blockdev
 
 import (

@@ -538,6 +538,22 @@ func (f *cohFile) GetLength() (vm.Offset, error) {
 	return attrs.Length, nil
 }
 
+// lengthNoPoll returns the file length without reconciling upper-layer
+// attribute caches. The read-ahead hint path uses it to clamp the window
+// at EOF: a clamp is best effort, and a full reconciliation there would
+// flush (and so invalidate) every client's attribute cache on a plain
+// sequential read, costing each of them a refetch round trip.
+func (f *cohFile) lengthNoPoll() (vm.Offset, error) {
+	if attrs, ok := f.attrs.Get(); ok {
+		return attrs.Length, nil
+	}
+	attrs, err := f.lowerAttrs()
+	if err != nil {
+		return 0, err
+	}
+	return attrs.Length, nil
+}
+
 // SetLength implements vm.MemoryObject; the new length is cached and
 // written back on flush (attribute write-behind).
 func (f *cohFile) SetLength(length vm.Offset) error {
@@ -636,37 +652,39 @@ func (p *cohPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, err
 
 // PageInHint implements vm.HintedPager (the Section 8 read-ahead
 // extension): the pager may return more data than strictly needed. The
-// coherency layer serves as many sequential blocks as fit in maxSize,
-// bounded by the end of file rounded to a block, and prefetches the
-// blocks it does not hold from the lower layer in a single clustered
-// transfer so the device pays one positioning delay for the whole run.
+// coherency layer forwards the (minSize, maxSize) hint range to the
+// layer below — whose sequential-stream detector decides how far ahead
+// to actually read — installs whatever came back in one clustered
+// transfer, and serves that much to the caller.
 func (p *cohPager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rights) ([]byte, error) {
-	length, err := p.file.GetLength()
+	length, err := p.file.lengthNoPoll()
 	if err != nil {
 		return nil, err
 	}
 	end := vm.RoundUp(length)
-	size := maxSize
-	if offset+size > end {
-		size = end - offset
+	if offset+maxSize > end {
+		maxSize = end - offset
 	}
-	if size < minSize {
-		size = minSize
+	if maxSize < minSize {
+		maxSize = minSize
 	}
-	p.file.prefetch(offset, size, access)
+	size := p.file.prefetch(offset, minSize, maxSize, access)
 	return p.PageIn(offset, size, access)
 }
 
-// prefetch pulls the invalid blocks of [offset, offset+size) from the
+// prefetch pulls the invalid blocks of [offset, offset+maxSize) from the
 // lower layer in one bulk transfer and installs them, validating each
 // block's epoch so a revocation that lands mid-flight discards the stale
-// copy (the per-block protocol then refetches it). Best effort: on any
-// error the normal single-block path takes over.
-func (f *cohFile) prefetch(offset, size vm.Offset, access vm.Rights) {
-	first, last := vm.PageRange(offset, size)
+// copy (the per-block protocol then refetches it). It returns how many
+// bytes (at least minSize) the caller should serve: the full window when
+// every block is already cached, what the lower layer actually granted
+// when it was consulted, and just minSize on any error (the normal
+// single-block path takes over).
+func (f *cohFile) prefetch(offset, minSize, maxSize vm.Offset, access vm.Rights) vm.Offset {
+	first, last := vm.PageRange(offset, maxSize)
 	n := last - first + 1
 	if n <= 1 {
-		return
+		return minSize
 	}
 	// Snapshot epochs and validity without holding any block across the
 	// downward call.
@@ -681,25 +699,29 @@ func (f *cohFile) prefetch(offset, size vm.Offset, access vm.Rights) {
 		f.release(b)
 	}
 	if !missing {
-		return
+		return maxSize
 	}
 	pager, err := f.ensureLowerPager()
 	if err != nil {
-		return
+		return minSize
 	}
 	var bulk []byte
 	t := opPageIn.Start()
 	if hp, ok := spring.Narrow[vm.HintedPager](pager); ok {
-		bulk, err = hp.PageInHint(first*BlockSize, size, size, access)
+		bulk, err = hp.PageInHint(first*BlockSize, minSize, maxSize, access)
 	} else {
-		bulk, err = pager.PageIn(first*BlockSize, size, access)
+		bulk, err = pager.PageIn(first*BlockSize, minSize, access)
 	}
-	if err != nil || int64(len(bulk)) < size {
-		return
+	if err != nil || vm.Offset(len(bulk)) < minSize {
+		return minSize
 	}
 	opPageIn.End(t, int64(len(bulk)))
 	f.fs.LowerPageIns.Inc()
-	for pn := first; pn <= last; pn++ {
+	got := vm.Offset(len(bulk)) - vm.Offset(len(bulk))%BlockSize
+	if got > maxSize {
+		got = maxSize
+	}
+	for pn := first; pn*BlockSize < first*BlockSize+got; pn++ {
 		b := f.acquire(pn)
 		if !b.valid && b.epoch == epochs[pn-first] {
 			b.data = make([]byte, BlockSize)
@@ -710,6 +732,10 @@ func (f *cohFile) prefetch(offset, size vm.Offset, access vm.Rights) {
 		}
 		f.release(b)
 	}
+	if got < minSize {
+		got = minSize
+	}
+	return got
 }
 
 // PageOut implements vm.PagerObject: the caller no longer retains the

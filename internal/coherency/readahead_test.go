@@ -56,8 +56,8 @@ func TestReadAhead(t *testing.T) {
 		return r.vmm.PageIns.Value()
 	}
 
-	without := run(t, 0)
-	with := run(t, 7) // request up to 8 blocks per fault
+	without := run(t, -1) // hints off entirely
+	with := run(t, 7)     // request up to 8 blocks per fault
 	if without != nBlocks {
 		t.Errorf("without read-ahead: %d page-ins, want %d", without, nBlocks)
 	}

@@ -56,7 +56,7 @@ func TestRemoteReadAhead(t *testing.T) {
 		return remote.client.RemoteCalls.Value() - before
 	}
 
-	without := run(t, 0)
+	without := run(t, -1) // hints off entirely
 	with := run(t, 7)
 	if without != blocks {
 		t.Errorf("without hints: %d wire calls, want %d", without, blocks)

@@ -4,12 +4,33 @@ import (
 	"fmt"
 
 	"springfs/internal/blockdev"
+	"springfs/internal/stats"
 )
+
+// Contiguity stats: how many data-block allocations landed exactly where
+// the caller's placement hint asked (previous block + 1). The ratio
+// contig/total is the layout quality the blockdev seek model rewards —
+// fsbench -stream reports it.
+var (
+	allocTotal  = stats.Default.Counter("disk.alloc.blocks")
+	allocContig = stats.Default.Counter("disk.alloc.contig")
+)
+
+// allocGroupBlocks is the allocation-group size (FFS cylinder-group
+// lineage): the data region is carved into groups of this many blocks, and
+// placement keeps a file's blocks inside one group until it fills, so
+// unrelated files don't interleave block-by-block.
+const allocGroupBlocks = 2048 // 8 MiB per group
 
 // allocator manages the block allocation bitmap. The bitmap is kept in
 // memory and written through on every change; with journaling on, the
 // write lands in the current metadata transaction (via the write hook), so
 // a crash either applies the whole mutation or none of it.
+//
+// Placement is extent-aware: alloc takes a hint (the block the caller
+// wants to extend — typically the file's previous block + 1) and tries, in
+// order, the hinted block itself, a next-fit scan within the hint's
+// allocation group, the emptiest group, and finally a full device scan.
 //
 // The allocator is not internally locked; DiskFS serialises metadata
 // mutations under its own mutex.
@@ -20,8 +41,10 @@ type allocator struct {
 	// write sinks bitmap block writes; DiskFS points it at metaWrite so
 	// they join the open transaction. Nil means write the device directly.
 	write func(bn int64, buf []byte) error
-	// hint is the next block to consider, making allocation roughly
-	// sequential, which matters under the device's seek model.
+	// groupFree tracks free blocks per allocation group so picking the
+	// emptiest group is O(groups), not a bitmap walk.
+	groupFree []int64
+	// hint is the fallback rotor for hintless allocations.
 	hint int64
 }
 
@@ -37,7 +60,39 @@ func loadAllocator(dev blockdev.Device, sb *superblock) (*allocator, error) {
 			return nil, fmt.Errorf("disklayer: reading bitmap: %w", err)
 		}
 	}
+	ngroups := (sb.nblocks - sb.dataStart + allocGroupBlocks - 1) / allocGroupBlocks
+	if ngroups < 1 {
+		ngroups = 1
+	}
+	a.groupFree = make([]int64, ngroups)
+	for bn := sb.dataStart; bn < sb.nblocks; bn++ {
+		if !a.isSet(bn) {
+			a.groupFree[a.group(bn)]++
+		}
+	}
 	return a, nil
+}
+
+// group maps a data block to its allocation group index.
+func (a *allocator) group(bn int64) int64 {
+	g := (bn - a.sb.dataStart) / allocGroupBlocks
+	if g < 0 {
+		g = 0
+	}
+	if g >= int64(len(a.groupFree)) {
+		g = int64(len(a.groupFree)) - 1
+	}
+	return g
+}
+
+// groupRange returns group g's data-block range [lo, hi).
+func (a *allocator) groupRange(g int64) (int64, int64) {
+	lo := a.sb.dataStart + g*allocGroupBlocks
+	hi := lo + allocGroupBlocks
+	if hi > a.sb.nblocks {
+		hi = a.sb.nblocks
+	}
+	return lo, hi
 }
 
 func (a *allocator) isSet(bn int64) bool {
@@ -57,38 +112,98 @@ func (a *allocator) writeBitmapBlock(bn int64) error {
 	return a.dev.WriteBlock(a.sb.bitmapStart+blk, buf)
 }
 
+// take claims a known-free block: bitmap bit, counters, write-through.
+func (a *allocator) take(bn int64) (int64, error) {
+	a.set(bn)
+	a.sb.freeBlocks--
+	a.groupFree[a.group(bn)]--
+	a.hint = bn + 1
+	if a.hint >= a.sb.nblocks {
+		a.hint = a.sb.dataStart
+	}
+	if err := a.writeBitmapBlock(bn); err != nil {
+		a.clear(bn)
+		a.sb.freeBlocks++
+		a.groupFree[a.group(bn)]++
+		return 0, err
+	}
+	return bn, nil
+}
+
+// scan returns the first free block in [lo, hi), or -1.
+func (a *allocator) scan(lo, hi int64) int64 {
+	for bn := lo; bn < hi; bn++ {
+		if !a.isSet(bn) {
+			return bn
+		}
+	}
+	return -1
+}
+
 // alloc returns a free data block, zeroed on disk by convention (callers
 // overwrite it entirely or rely on free blocks having been zeroed when
 // freed — DiskFS.freeBlock enforces the zeroing, deferred until the
 // freeing transaction is durable; TestFreedBlocksAreZeroedOnDisk is the
 // regression test).
-func (a *allocator) alloc() (int64, error) {
+//
+// near is the placement hint: the block the caller would like, usually the
+// previous block of the same file plus one, so sequential writes lay out
+// contiguously and streaming reads coalesce into runs. near <= 0 means no
+// preference.
+func (a *allocator) alloc(near int64) (int64, error) {
 	if a.sb.freeBlocks == 0 {
 		return 0, ErrNoSpace
 	}
-	n := a.sb.nblocks
-	for i := int64(0); i < n; i++ {
-		bn := a.hint + i
-		if bn >= n {
-			bn = a.sb.dataStart + (bn - n)
+	allocTotal.Inc()
+	hinted := near >= a.sb.dataStart && near < a.sb.nblocks
+	// 1. The hinted block itself: a contiguous extension.
+	if hinted && !a.isSet(near) {
+		bn, err := a.take(near)
+		if err == nil {
+			allocContig.Inc()
 		}
-		if bn < a.sb.dataStart {
-			continue
+		return bn, err
+	}
+	// 2. Next-fit within the hint's group: stay near the file.
+	if hinted {
+		g := a.group(near)
+		_, hi := a.groupRange(g)
+		if bn := a.scan(near+1, hi); bn >= 0 {
+			return a.take(bn)
 		}
-		if !a.isSet(bn) {
-			a.set(bn)
-			a.sb.freeBlocks--
-			a.hint = bn + 1
-			if a.hint >= n {
-				a.hint = a.sb.dataStart
+	}
+	// 3. The emptiest group (hintless allocations start from the fallback
+	// rotor's group so metadata-heavy churn doesn't always pile into group
+	// 0).
+	best := int64(-1)
+	if !hinted {
+		best = a.group(a.hint)
+		if a.groupFree[best] == 0 {
+			best = -1
+		}
+	}
+	if best < 0 {
+		for g := range a.groupFree {
+			if a.groupFree[g] > 0 && (best < 0 || a.groupFree[g] > a.groupFree[best]) {
+				best = int64(g)
 			}
-			if err := a.writeBitmapBlock(bn); err != nil {
-				a.clear(bn)
-				a.sb.freeBlocks++
-				return 0, err
-			}
-			return bn, nil
 		}
+	}
+	if best >= 0 {
+		lo, hi := a.groupRange(best)
+		if !hinted && a.hint > lo && a.hint < hi {
+			// Next-fit from the rotor inside its group.
+			if bn := a.scan(a.hint, hi); bn >= 0 {
+				return a.take(bn)
+			}
+		}
+		if bn := a.scan(lo, hi); bn >= 0 {
+			return a.take(bn)
+		}
+	}
+	// 4. Full scan — only reachable if groupFree is somehow stale.
+	if bn := a.scan(a.sb.dataStart, a.sb.nblocks); bn >= 0 {
+		return a.take(bn)
 	}
 	return 0, ErrNoSpace
 }
@@ -103,6 +218,7 @@ func (a *allocator) free(bn int64) error {
 	}
 	a.clear(bn)
 	a.sb.freeBlocks++
+	a.groupFree[a.group(bn)]++
 	return a.writeBitmapBlock(bn)
 }
 

@@ -2,12 +2,14 @@ package disklayer
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"springfs/internal/blockdev"
 	"springfs/internal/fsys"
 	"springfs/internal/naming"
 	"springfs/internal/spring"
+	"springfs/internal/stats"
 	"springfs/internal/vm"
 )
 
@@ -151,13 +153,42 @@ func (f *diskFile) Sync() error {
 	})
 }
 
+// Read-ahead effectiveness counters. A "hit" is a speculatively-fetched
+// page whose stream continued into it (the prefetch saved a fault); a
+// "wasted" page was prefetched for a stream that never came back.
+var (
+	raHits   = stats.Default.Counter("disk.readahead.hits")
+	raWasted = stats.Default.Counter("disk.readahead.wasted")
+)
+
+// Read-ahead window bounds (pages): a freshly detected stream starts at
+// raInitPages and doubles on every confirmed sequential fault up to
+// raMaxPages, FFS/SunOS style.
+const (
+	raInitPages = 4
+	raMaxPages  = 64
+)
+
 // diskPager is the per-file fs_pager of the disk layer. Page-ins and
 // page-outs perform real disk I/O; attributes come from the i-node cache.
 // The disk layer is non-coherent: the pager does not reconcile multiple
 // cache managers (stack the coherency layer for that). It supports the
 // page-in hint extension so read-ahead pulls sequential blocks cheaply.
+//
+// Each pager carries its own sequential-stream detector (one pager per
+// cache-manager connection, so two clients scanning the same file do not
+// confuse each other's streams): when a hinted page-in lands exactly where
+// the previous grant ended, the read-ahead window doubles; any other
+// offset resets it. The window rides on top of the caller's (minSize,
+// maxSize) hint range — the pager never returns more than the VMM asked
+// it to consider.
 type diskPager struct {
 	file *diskFile
+
+	raMu      sync.Mutex
+	raNext    vm.Offset // where the stream's next fault lands if sequential
+	raWindow  int       // current speculative pages per fault
+	raPending int       // speculative pages granted but not yet accounted
 }
 
 var (
@@ -224,22 +255,56 @@ func (p *diskPager) PageIn(offset, size vm.Offset, access vm.Rights) ([]byte, er
 	return out, nil
 }
 
-// PageInHint implements vm.HintedPager: return up to maxSize of sequential
-// data (bounded by the end of file rounded up) in one call.
+// PageInHint implements vm.HintedPager: return minSize plus however much
+// speculative sequential data the stream detector currently trusts, capped
+// at maxSize and the end of file rounded up.
 func (p *diskPager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rights) ([]byte, error) {
 	length, err := p.file.GetLength()
 	if err != nil {
 		return nil, err
 	}
-	end := vm.RoundUp(length)
-	size := maxSize
+	size := p.streamWindow(offset, minSize, maxSize, vm.RoundUp(length))
+	return p.PageIn(offset, size, access)
+}
+
+// streamWindow runs the sequential-stream detector for one hinted fault
+// and returns how many bytes to serve. end bounds the grant at EOF.
+func (p *diskPager) streamWindow(offset, minSize, maxSize, end vm.Offset) vm.Offset {
+	p.raMu.Lock()
+	defer p.raMu.Unlock()
+	if offset == p.raNext {
+		// The fault landed exactly where the last grant ended: the stream
+		// is sequential and any speculative pages were consumed. Widen.
+		raHits.Add(int64(p.raPending))
+		p.raWindow *= 2
+		if p.raWindow < raInitPages {
+			p.raWindow = raInitPages
+		}
+		if p.raWindow > raMaxPages {
+			p.raWindow = raMaxPages
+		}
+	} else {
+		// Not sequential: last grant's speculation went unused. Start over
+		// with no speculation — a random workload pays nothing extra.
+		raWasted.Add(int64(p.raPending))
+		p.raWindow = 0
+	}
+	size := minSize + vm.Offset(p.raWindow)*vm.PageSize
+	if size > maxSize {
+		size = maxSize
+	}
 	if offset+size > end {
 		size = end - offset
 	}
 	if size < minSize {
 		size = minSize
 	}
-	return p.PageIn(offset, size, access)
+	p.raPending = int((size - minSize) / vm.PageSize)
+	if p.raPending < 0 {
+		p.raPending = 0
+	}
+	p.raNext = offset + size
+	return size
 }
 
 // PageOut implements vm.PagerObject. The data may span many pages (the

@@ -117,7 +117,11 @@ func Mount(dev blockdev.Device, domain *spring.Domain, vmm *vm.VMM, name string)
 	}
 	alloc.write = fs.metaWrite
 	fs.alloc = alloc
-	fs.jnl = &journal{dev: dev, sb: &fs.sb, checkpoint: true}
+	jnl, err := openJournal(dev, &fs.sb)
+	if err != nil {
+		return nil, err
+	}
+	fs.jnl = jnl
 	return fs, nil
 }
 
@@ -339,6 +343,7 @@ func (fs *DiskFS) SyncFS() error {
 			}
 		}
 		if err := fs.withTxn(func() error {
+			fs.txn.seal = true
 			buf := getBlockBuf()
 			defer putBlockBuf(buf)
 			clear(buf)

@@ -12,6 +12,11 @@ type cachedInode struct {
 	ino   uint64
 	in    inode
 	dirty bool
+	// lastBn is the most recently mapped or allocated device block of this
+	// file — the allocator's placement hint, so sequential writes extend
+	// the file contiguously (in-memory only; rebuilt as the file is
+	// touched after a remount).
+	lastBn int64
 }
 
 // readInode returns the cached inode for ino, loading it from the inode
@@ -144,7 +149,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 	// Direct pointers.
 	if fbn < NumDirect {
 		if ci.in.direct[fbn] == 0 && alloc {
-			bn, err := fs.allocZeroed()
+			bn, err := fs.allocZeroed(ci)
 			if err != nil {
 				return 0, err
 			}
@@ -153,6 +158,9 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 			// The inode's pointers changed; commit must write it with the
 			// bitmap/pointer blocks it references.
 			fs.txnRegister(ci)
+		}
+		if bn := ci.in.direct[fbn]; bn != 0 {
+			ci.lastBn = bn // warm the placement hint from existing layout
 		}
 		return ci.in.direct[fbn], nil
 	}
@@ -163,7 +171,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 			if !alloc {
 				return 0, nil
 			}
-			bn, err := fs.allocZeroed()
+			bn, err := fs.allocZeroed(ci)
 			if err != nil {
 				return 0, err
 			}
@@ -176,7 +184,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 			return 0, err
 		}
 		if ptrs[fbn] == 0 && alloc {
-			bn, err := fs.allocZeroed()
+			bn, err := fs.allocZeroed(ci)
 			if err != nil {
 				return 0, err
 			}
@@ -184,6 +192,9 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 			if err := fs.writePtrBlock(ci.in.indirect, ptrs); err != nil {
 				return 0, err
 			}
+		}
+		if ptrs[fbn] != 0 {
+			ci.lastBn = ptrs[fbn]
 		}
 		return ptrs[fbn], nil
 	}
@@ -193,7 +204,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 		if !alloc {
 			return 0, nil
 		}
-		bn, err := fs.allocZeroed()
+		bn, err := fs.allocZeroed(ci)
 		if err != nil {
 			return 0, err
 		}
@@ -211,7 +222,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 		if !alloc {
 			return 0, nil
 		}
-		bn, err := fs.allocZeroed()
+		bn, err := fs.allocZeroed(ci)
 		if err != nil {
 			return 0, err
 		}
@@ -225,7 +236,7 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 		return 0, err
 	}
 	if inner[ii] == 0 && alloc {
-		bn, err := fs.allocZeroed()
+		bn, err := fs.allocZeroed(ci)
 		if err != nil {
 			return 0, err
 		}
@@ -234,10 +245,14 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 			return 0, err
 		}
 	}
+	if inner[ii] != 0 {
+		ci.lastBn = inner[ii]
+	}
 	return inner[ii], nil
 }
 
-// allocZeroed allocates a data block and zeroes it, so holes materialise
+// allocZeroed allocates a data block (near ci's previous block when the
+// hint is warm) and zeroes it, so holes materialise
 // as zeros even if the block previously held data. The zero image is
 // staged in the transaction, not written in place: the block may still
 // hold committed file content (freed earlier in this same transaction),
@@ -245,10 +260,17 @@ func (fs *DiskFS) bmap(ci *cachedInode, fbn int64, alloc bool) (int64, error) {
 // metadata cache entry for a reused block is dropped, and a pending
 // deferred zero for it is cancelled — the transaction's record supersedes
 // it.
-func (fs *DiskFS) allocZeroed() (int64, error) {
-	bn, err := fs.alloc.alloc()
+func (fs *DiskFS) allocZeroed(ci *cachedInode) (int64, error) {
+	var near int64
+	if ci != nil && ci.lastBn > 0 {
+		near = ci.lastBn + 1
+	}
+	bn, err := fs.alloc.alloc(near)
 	if err != nil {
 		return 0, err
+	}
+	if ci != nil {
+		ci.lastBn = bn
 	}
 	delete(fs.mcache, bn)
 	if fs.txn != nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"sync"
 
 	"springfs/internal/blockdev"
 	"springfs/internal/stats"
@@ -16,56 +17,94 @@ import (
 // transactions at its lowest layer so every layer stacked above inherits
 // durability). Every metadata mutation — block alloc/free, inode
 // create/delete/update, directory add/remove, superblock — is grouped into
-// a transaction and committed with this protocol:
+// a transaction. Transactions are group-committed: concurrent transactions
+// stage independently, and the first one to reach the commit path becomes
+// the leader, drains every transaction staged behind it, and commits the
+// whole batch with one record run, one commit block, and one barrier (the
+// ext3/jbd group-commit design — batching is self-clocking under barrier
+// latency, because new arrivals pile up while the previous leader waits on
+// the device).
 //
-//  1. The transaction's block images are written to the journal's record
-//     area (blocks journalSlot+1 ..).
-//  2. A commit block naming the home addresses, carrying a sequence number
-//     and a CRC over the header and all record contents, is written to
-//     journalSlot.
-//  3. Barrier (device Flush). The transaction is now durable.
-//  4. The records are checkpointed to their home locations.
-//  5. Barrier. The journal slot may now be reused.
+// Journal lifecycle (one transaction's journey):
 //
-// Mount (and fsck) replay the journal first: a commit block whose CRC
-// covers intact record blocks is re-applied to its home locations
-// (step 4 is redone — replay is idempotent); anything else is a torn tail
-// from a crash before step 3 and is discarded.
+//	    metaWrite / freeBlock / txnRegister
+//	                 |
+//	                 v
+//	[open] --commitTxn--> [staged]        images visible to metaRead
+//	                 \       |            via the pending overlay
+//	                  \      v
+//	                   [batched]          a leader merged it with its
+//	                         |            queue neighbours (dedup by
+//	                         v            block, last image wins)
+//	      records -> commit block -> Flush
+//	                         |
+//	                 [committed, live]    durable in the ring; homes
+//	                         |            written but not yet barriered
+//	                         v
+//	      next barrier advances the durability watermark
+//	                         |
+//	                         v
+//	                  [checkpointed]      ring space reusable
+//	                                      (pruned from the live list)
 //
-// The journal is single-slot: it holds at most one transaction, and step 5
-// completes before the slot is reused. This is what makes replay safe
-// without a revocation map: a replayed record could only clobber a block
-// that was freed and recycled *after* the transaction committed, but any
-// such free/realloc is itself a later transaction, which would have taken
-// over the slot. The cost is two barriers per transaction, measured by
-// `fsbench -journal`.
+// The ring occupies blocks journalBase .. journalBase+R-1 (R =
+// superblock.journalBlocks). A batch is laid out as n record blocks
+// followed by one commit block, written at the ring head; the head then
+// advances n+1 (mod R). Replay reads the newest valid commit block, whose
+// tailSeq field names the oldest batch that might not be checkpointed, and
+// re-applies every batch in [tailSeq, newest] in sequence order (later
+// images win). Anything with a bad CRC is a torn tail from a crash before
+// its barrier and is discarded — that is the contract: it never committed.
+//
+// Checkpointing is asynchronous with respect to barriers: a batch's homes
+// are written immediately after its commit barrier, but the write-back is
+// NOT barriered. The next batch's commit barrier doubles as the checkpoint
+// barrier for its predecessors (the durability watermark durableSeq
+// advances at each Flush), so steady-state cost is one barrier per batch
+// instead of PR 4's two per transaction. Ring space for a batch is
+// reclaimed only once its homes are durable, which is what keeps replay
+// safe: a batch overwritten by ring reuse is by construction older than
+// every tailSeq still reachable.
 var (
 	opJournal       = stats.NewOp("disk.journal", stats.BoundaryDirect)
 	journalTxns     = stats.Default.Counter("disk.journal.txns")
+	journalBatches  = stats.Default.Counter("disk.journal.batches")
+	journalBatched  = stats.Default.Counter("disk.journal.batched")
 	journalReplayed = stats.Default.Counter("disk.journal.replayed")
 )
 
-// journalSlot is the fixed block address of the journal's commit block in
-// format version 2; record blocks follow it. It is a format constant (not
-// read from the superblock) so that replay can run even when the in-place
+// journalBase is the fixed block address of the first ring block in format
+// version 3. It is a format constant (not read from the superblock) so
+// that replay can locate candidate commit blocks even when the in-place
 // superblock copy was torn by a crash mid-checkpoint.
-const journalSlot = 1
+const journalBase = 1
 
 // journalMagic identifies a commit block.
-const journalMagic = 0x5350524a_4e4c3032 // "SPRJNL02"
+const journalMagic = 0x5350524a_4e4c3033 // "SPRJNL03"
 
 // Commit block layout (big-endian):
 //
 //	[0:8]   magic
-//	[8:16]  sequence number
+//	[8:16]  batch sequence number (first batch after Mkfs is 1)
 //	[16:24] record count n
-//	[24:32] CRC-64/ECMA over bytes [8:24], the home addresses, and the
-//	        n record blocks
-//	[32:]   n home block addresses, 8 bytes each
-const commitHdrSize = 32
+//	[24:32] tailSeq: the oldest batch sequence number whose homes may not
+//	        be durable; replay starts here
+//	[32:40] startIdx: ring index (0-based, relative to journalBase) of the
+//	        batch's first record block
+//	[40:48] ring size R in blocks (the commit block is self-describing, so
+//	        replay can validate geometry without the superblock)
+//	[48:56] transactions merged into this batch (informational)
+//	[56:64] CRC-64/ECMA over bytes [8:56], the home addresses, and the n
+//	        record blocks
+//	[64:]   n home block addresses, 8 bytes each
+const commitHdrSize = 64
 
 // maxJournalRecords bounds the records a commit block can name.
 const maxJournalRecords = (BlockSize - commitHdrSize) / 8
+
+// maxRingBlocks bounds the journal region: one batch must fit in the ring,
+// so a larger region could never be used.
+const maxRingBlocks = maxJournalRecords + 1
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
@@ -86,15 +125,26 @@ type txn struct {
 	writes map[int64][]byte
 	order  []int64
 	// zeroAfter lists blocks freed by this transaction. They are zeroed
-	// on the device only after the transaction checkpoints: zeroing
-	// earlier would destroy committed file content if the crash discarded
-	// the transaction that freed them.
+	// on the device only after the transaction commits: zeroing earlier
+	// would destroy committed file content if the crash discarded the
+	// transaction that freed them.
 	zeroAfter map[int64]bool
 	// inodes are the cached inodes structurally changed by this
 	// transaction (new/cleared block pointers, link counts). They are
 	// written into the transaction at commit so the on-disk inode can
 	// never disagree with a committed bitmap or pointer-block change.
 	inodes map[uint64]*cachedInode
+	// seal marks the transaction as a SyncFS seal: the leader checkpoints
+	// and barriers everything older first, so the batch carrying the seal
+	// becomes the entire replay window. After a successful SyncFS, replay
+	// can therefore never re-apply a pre-sync zero image over data the
+	// sync made durable.
+	seal bool
+	// committed and commitErr publish the batch outcome to the staging
+	// goroutine. Written by the leader (which holds cmu) and read in
+	// commitGroup's loop (which also holds cmu).
+	committed bool
+	commitErr error
 }
 
 func newTxn() *txn {
@@ -107,7 +157,7 @@ func newTxn() *txn {
 
 // put buffers a block image, copying buf (always a full block: that is
 // the metaWrite contract). The image comes from the scratch pool and goes
-// back via release once the commit protocol is done with it.
+// back via the journal once the commit protocol is done with it.
 func (t *txn) put(bn int64, buf []byte) {
 	if _, ok := t.writes[bn]; !ok {
 		t.order = append(t.order, bn)
@@ -116,9 +166,8 @@ func (t *txn) put(bn int64, buf []byte) {
 	copy(t.writes[bn], buf)
 }
 
-// release returns the staged block images to the scratch pool. Safe once
-// commit has pushed them to the device (every blockdev.Device copies on
-// WriteBlock) or the transaction is being discarded.
+// release returns any still-owned block images to the scratch pool (the
+// journal strips images it took ownership of out of t.writes).
 func (t *txn) release() {
 	for bn, img := range t.writes {
 		putBlockBuf(img)
@@ -126,18 +175,91 @@ func (t *txn) release() {
 	}
 }
 
-// journal drives the commit protocol for one mounted DiskFS.
+// sameBuf reports whether two block images are the same backing slice
+// (identity, not content — images are pooled, so identity is ownership).
+func sameBuf(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// liveBatch is a committed batch whose homes are not yet known durable;
+// its ring blocks must not be reused. writes/order are retained only while
+// the batch is un-checkpointed (deferred checkpoint mode, or a checkpoint
+// write that failed): they hold the images the eventual checkpoint must
+// write.
+type liveBatch struct {
+	seq    uint64
+	blocks int64 // records + commit block
+	order  []int64
+	writes map[int64][]byte
+}
+
+// journal drives the group-commit protocol for one mounted DiskFS.
+//
+// Lock order: fs.mu > cmu > qmu (a holder of a later lock never takes an
+// earlier one). The leader works under cmu only, so staging (fs.mu + qmu)
+// proceeds while a leader waits on the device — that overlap is where
+// group commit's concurrency win comes from.
 type journal struct {
 	dev blockdev.Device
 	sb  *superblock
-	seq uint64
-	// checkpoint is normally true; fsbench -recovery disables it so a
-	// committed transaction stays in the journal for Mount to replay.
+
+	// qmu guards the staging side: the queue of transactions waiting for
+	// a leader, and the overlay of staged-but-not-homed block images that
+	// metaRead must observe (without it, a later transaction's
+	// read-modify-write of a shared block — an inode table block, say —
+	// would resurrect the on-device image and clobber a queued
+	// neighbour's update).
+	qmu     sync.Mutex
+	queue   []*txn
+	overlay map[int64][]byte
+	// checkpoint is normally true; fsbench -recovery disables it so
+	// committed batches stay in the journal for Mount to replay.
 	checkpoint  bool
 	lastRecords int
+	// Per-journal copies of the batching counters, so tests can assert on
+	// one mount's behaviour without racing other mounts' global stats.
+	statTxns    int64
+	statBatches int64
+	statBatched int64
+
+	// cmu is the leader lock; it serialises batch commits and guards the
+	// ring cursor state below.
+	cmu  sync.Mutex
+	seq  uint64 // next batch sequence number
+	head int64  // ring index of the next record write
+	// durableSeq is the durability watermark: every batch with seq <=
+	// durableSeq has durable homes, so its ring space is reusable and
+	// replay never needs it. Advanced at each Flush. tailSeq in a commit
+	// block is durableSeq+1 at commit time.
+	durableSeq uint64
+	live       []liveBatch
 }
 
-// capacity returns the number of record blocks the journal region holds.
+// openJournal builds the journal for a mounted device, deriving the ring
+// cursor from the newest valid commit block (Mount has already replayed,
+// so everything on the ring is also homed and durable).
+func openJournal(dev blockdev.Device, sb *superblock) (*journal, error) {
+	j := &journal{
+		dev:        dev,
+		sb:         sb,
+		overlay:    make(map[int64][]byte),
+		checkpoint: true,
+		seq:        1,
+	}
+	cands, maxSeq, err := scanRing(dev, sb.journalBlocks)
+	if err != nil {
+		return nil, err
+	}
+	if maxSeq != 0 {
+		newest := cands[maxSeq]
+		j.seq = maxSeq + 1
+		j.head = (newest.start + int64(len(newest.homes)) + 1) % sb.journalBlocks
+		j.durableSeq = maxSeq
+	}
+	return j, nil
+}
+
+// capacity returns the number of record blocks one batch can hold.
 func (j *journal) capacity() int {
 	c := int(j.sb.journalBlocks) - 1
 	if c > maxJournalRecords {
@@ -146,124 +268,433 @@ func (j *journal) capacity() int {
 	return c
 }
 
-// commit runs the journal protocol for t's buffered writes.
-func (j *journal) commit(t *txn) error {
-	n := len(t.order)
-	if n == 0 {
-		return nil
+// stage enqueues a finalised transaction for the next leader and publishes
+// its images to the overlay. Caller holds fs.mu, so queue order is the
+// order transactions observed each other's in-memory state.
+func (j *journal) stage(t *txn) {
+	j.qmu.Lock()
+	defer j.qmu.Unlock()
+	j.queue = append(j.queue, t)
+	for bn, img := range t.writes {
+		j.overlay[bn] = img
 	}
-	if n > j.capacity() {
-		return fmt.Errorf("%w: %d blocks > %d record slots", ErrTxnTooBig, n, j.capacity())
+}
+
+// readStaged copies the newest staged-but-not-homed image of bn into buf,
+// if one exists.
+func (j *journal) readStaged(bn int64, buf []byte) bool {
+	j.qmu.Lock()
+	defer j.qmu.Unlock()
+	img, ok := j.overlay[bn]
+	if ok {
+		copy(buf, img)
+	}
+	return ok
+}
+
+// commitGroup blocks until t is committed. The first caller in becomes the
+// leader and commits batches (its own transaction plus everything staged
+// behind it) until its transaction is covered; later callers usually find
+// their transaction already committed by the time they get the lock.
+func (j *journal) commitGroup(t *txn) error {
+	j.cmu.Lock()
+	defer j.cmu.Unlock()
+	for !t.committed {
+		j.commitBatch()
+	}
+	return t.commitErr
+}
+
+// commitBatch drains a capacity-bounded prefix of the staging queue and
+// runs the commit protocol for it: record run, commit block, one barrier,
+// then an unbarriered checkpoint of the homes. Caller holds cmu. Errors
+// are delivered to every member transaction via completeBatch.
+func (j *journal) commitBatch() {
+	capRecords := j.capacity()
+	j.qmu.Lock()
+	var batch []*txn
+	merged := make(map[int64][]byte)
+	var order []int64
+	sealed := false
+	for len(j.queue) > 0 {
+		t := j.queue[0]
+		fresh := 0
+		for _, bn := range t.order {
+			if _, ok := merged[bn]; !ok {
+				fresh++
+			}
+		}
+		if len(batch) == 0 && fresh > capRecords {
+			// A single oversized transaction: refuse it (its caller
+			// invalidates and reloads) rather than commit it non-atomically.
+			j.queue = j.queue[1:]
+			for bn, img := range t.writes {
+				if ov, ok := j.overlay[bn]; ok && sameBuf(ov, img) {
+					delete(j.overlay, bn)
+				}
+				putBlockBuf(img)
+				delete(t.writes, bn)
+			}
+			t.commitErr = fmt.Errorf("%w: %d blocks > %d record slots", ErrTxnTooBig, fresh, capRecords)
+			t.committed = true
+			continue
+		}
+		if len(batch) > 0 && len(order)+fresh > capRecords {
+			break // next leader takes it
+		}
+		for _, bn := range t.order {
+			if _, ok := merged[bn]; !ok {
+				order = append(order, bn)
+			}
+			merged[bn] = t.writes[bn]
+		}
+		if t.seal {
+			sealed = true
+		}
+		batch = append(batch, t)
+		j.queue = j.queue[1:]
+	}
+	checkpoint := j.checkpoint
+	j.qmu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	n := len(order)
+	if n == 0 {
+		j.completeBatch(batch, merged, false, nil)
+		return
 	}
 	ot := opJournal.Start()
 	defer func() { opJournal.End(ot, int64(n)*BlockSize) }()
-	for i, bn := range t.order {
-		if err := j.dev.WriteBlock(journalSlot+1+int64(i), t.writes[bn]); err != nil {
-			return err
+
+	R := j.sb.journalBlocks
+	needed := int64(n) + 1
+	var used int64
+	for _, lb := range j.live {
+		used += lb.blocks
+	}
+	if needed > R-used || (sealed && checkpoint) {
+		// Force the watermark forward: home everything still live, then
+		// barrier, so every prior batch's ring space is reclaimable. A
+		// seal does this unconditionally so that its own batch becomes
+		// the entire replay window.
+		if err := j.homeLive(); err != nil {
+			j.completeBatch(batch, merged, false, err)
+			return
+		}
+		if err := j.dev.Flush(); err != nil {
+			j.completeBatch(batch, merged, false, err)
+			return
+		}
+		j.advanceDurable()
+	}
+
+	ringBn := func(i int64) int64 { return journalBase + (j.head+i)%R }
+	for i, bn := range order {
+		if err := j.dev.WriteBlock(ringBn(int64(i)), merged[bn]); err != nil {
+			j.completeBatch(batch, merged, false, err)
+			return
 		}
 	}
-	cb := make([]byte, BlockSize)
+	cb := getBlockBuf()
+	defer putBlockBuf(cb)
+	clear(cb)
 	be := binary.BigEndian
 	be.PutUint64(cb[0:], journalMagic)
 	be.PutUint64(cb[8:], j.seq)
 	be.PutUint64(cb[16:], uint64(n))
-	for i, bn := range t.order {
+	be.PutUint64(cb[24:], j.durableSeq+1)
+	be.PutUint64(cb[32:], uint64(j.head))
+	be.PutUint64(cb[40:], uint64(R))
+	be.PutUint64(cb[48:], uint64(len(batch)))
+	for i, bn := range order {
 		be.PutUint64(cb[commitHdrSize+8*i:], uint64(bn))
 	}
 	h := crc64.New(crcTable)
-	h.Write(cb[8:24])
+	h.Write(cb[8:56])
 	h.Write(cb[commitHdrSize : commitHdrSize+8*n])
-	for _, bn := range t.order {
-		h.Write(t.writes[bn])
+	for _, bn := range order {
+		h.Write(merged[bn])
 	}
-	be.PutUint64(cb[24:], h.Sum64())
-	if err := j.dev.WriteBlock(journalSlot, cb); err != nil {
-		return err
+	be.PutUint64(cb[56:], h.Sum64())
+	if err := j.dev.WriteBlock(ringBn(int64(n)), cb); err != nil {
+		j.completeBatch(batch, merged, false, err)
+		return
 	}
-	// Commit barrier: the transaction (and every earlier buffered write,
-	// including file data it references) becomes durable here.
+	// Commit barrier: the batch (and every earlier buffered write,
+	// including file data it references and all predecessors' homes)
+	// becomes durable here.
 	if err := j.dev.Flush(); err != nil {
-		return err
+		j.completeBatch(batch, merged, false, err)
+		return
 	}
+	j.advanceDurable()
+	lb := liveBatch{seq: j.seq, blocks: needed}
+	j.head = (j.head + needed) % R
 	j.seq++
-	j.lastRecords = n
-	journalTxns.Inc()
-	if !j.checkpoint {
-		return nil
-	}
-	for _, bn := range t.order {
-		if err := j.dev.WriteBlock(bn, t.writes[bn]); err != nil {
-			return err
+	if checkpoint {
+		// Checkpoint the homes now, unbarriered: the next batch's commit
+		// barrier makes them durable and reclaims this batch's ring space.
+		for _, bn := range order {
+			if err := j.dev.WriteBlock(bn, merged[bn]); err != nil {
+				// The batch is committed (durable in the ring) but its
+				// homes are suspect; keep the images live so a later
+				// forced checkpoint retries, and let the caller
+				// invalidate + replay.
+				lb.order, lb.writes = order, merged
+				j.live = append(j.live, lb)
+				j.completeBatch(batch, merged, true, err)
+				return
+			}
 		}
+	} else {
+		lb.order, lb.writes = order, merged
 	}
-	// Checkpoint barrier: home locations are current, so the slot can be
-	// overwritten by the next transaction.
-	return j.dev.Flush()
+	j.live = append(j.live, lb)
+	j.completeBatch(batch, merged, !checkpoint, nil)
 }
 
-// replayJournal re-applies the committed transaction sitting in the
-// journal slot, if any. It needs no superblock (the slot address is a
-// format constant), so it can run even when the in-place superblock copy
-// is torn. Returns whether a transaction was applied. Torn or absent
-// transactions are silently discarded — that is the contract: they never
-// committed.
+// homeLive writes the home blocks of every committed-but-unhomed live
+// batch, releasing their images and overlay entries. Caller holds cmu.
+func (j *journal) homeLive() error {
+	for i := range j.live {
+		lb := &j.live[i]
+		if lb.writes == nil {
+			continue
+		}
+		for _, bn := range lb.order {
+			if err := j.dev.WriteBlock(bn, lb.writes[bn]); err != nil {
+				return err
+			}
+		}
+		j.qmu.Lock()
+		for bn, img := range lb.writes {
+			if ov, ok := j.overlay[bn]; ok && sameBuf(ov, img) {
+				delete(j.overlay, bn)
+			}
+			putBlockBuf(img)
+		}
+		j.qmu.Unlock()
+		lb.order, lb.writes = nil, nil
+	}
+	return nil
+}
+
+// advanceDurable moves the durability watermark over the homed prefix of
+// the live list after a barrier. Caller holds cmu; the barrier has just
+// completed, so every home write issued before it is durable.
+func (j *journal) advanceDurable() {
+	for len(j.live) > 0 && j.live[0].writes == nil {
+		j.durableSeq = j.live[0].seq
+		j.live = j.live[1:]
+	}
+}
+
+// completeBatch publishes the batch outcome to its member transactions and
+// reclaims their images. retained means the merged (newest-per-block)
+// images stay owned by the live list for a deferred checkpoint; everything
+// else goes back to the pool, and overlay entries still pointing at a
+// reclaimed image are dropped (entries overwritten by a later stager are
+// left for that stager's batch).
+func (j *journal) completeBatch(batch []*txn, merged map[int64][]byte, retained bool, err error) {
+	j.qmu.Lock()
+	defer j.qmu.Unlock()
+	for _, t := range batch {
+		for bn, img := range t.writes {
+			if retained && sameBuf(merged[bn], img) {
+				delete(t.writes, bn)
+				continue
+			}
+			if ov, ok := j.overlay[bn]; ok && sameBuf(ov, img) {
+				delete(j.overlay, bn)
+			}
+			putBlockBuf(img)
+			delete(t.writes, bn)
+		}
+		t.commitErr = err
+		t.committed = true
+	}
+	if err == nil {
+		j.lastRecords = len(merged)
+		j.statTxns += int64(len(batch))
+		j.statBatches++
+		journalTxns.Add(int64(len(batch)))
+		journalBatches.Inc()
+		if len(batch) > 1 {
+			j.statBatched += int64(len(batch))
+			journalBatched.Add(int64(len(batch)))
+		}
+	}
+}
+
+// checkpointOn reports whether committed batches are checkpointed
+// immediately (the default).
+func (j *journal) checkpointOn() bool {
+	j.qmu.Lock()
+	defer j.qmu.Unlock()
+	return j.checkpoint
+}
+
+// --- Replay ---------------------------------------------------------------
+
+// ringCommit is a validated commit block found by scanRing.
+type ringCommit struct {
+	seq     uint64
+	tailSeq uint64
+	start   int64 // ring index of the first record block
+	ring    int64 // ring size the commit block claims
+	homes   []int64
+	records [][]byte
+}
+
+// scanRing finds every valid commit block on the ring. ringBlocks > 0
+// bounds the scan with the superblock's geometry; ringBlocks <= 0 means
+// the superblock is untrusted and the scan relies on the commit blocks
+// being self-describing (each carries its ring size, and its position must
+// be consistent with its startIdx and record count). Returns the valid
+// commits by sequence number and the highest sequence seen.
+func scanRing(dev blockdev.Device, ringBlocks int64) (map[uint64]*ringCommit, uint64, error) {
+	nblocks := dev.NumBlocks()
+	limit := int64(maxRingBlocks)
+	if ringBlocks > 0 && ringBlocks < limit {
+		limit = ringBlocks
+	}
+	if journalBase+limit > nblocks {
+		limit = nblocks - journalBase
+	}
+	cands := make(map[uint64]*ringCommit)
+	var maxSeq uint64
+	cb := make([]byte, BlockSize)
+	rec := make([]byte, BlockSize)
+	be := binary.BigEndian
+	for idx := int64(0); idx < limit; idx++ {
+		if err := dev.ReadBlock(journalBase+idx, cb); err != nil {
+			return nil, 0, err
+		}
+		if be.Uint64(cb[0:]) != journalMagic {
+			continue
+		}
+		seq := be.Uint64(cb[8:])
+		n := int64(be.Uint64(cb[16:]))
+		tail := be.Uint64(cb[24:])
+		start := int64(be.Uint64(cb[32:]))
+		ringR := int64(be.Uint64(cb[40:]))
+		if seq == 0 || tail == 0 || tail > seq {
+			continue
+		}
+		if ringR < 2 || ringR > maxRingBlocks || journalBase+ringR > nblocks {
+			continue
+		}
+		if ringBlocks > 0 && ringR != ringBlocks {
+			continue
+		}
+		if n < 1 || n > ringR-1 || n > maxJournalRecords {
+			continue
+		}
+		// Positional consistency: the commit block sits right after its
+		// record run on the ring it claims.
+		if start < 0 || start >= ringR || (start+n)%ringR != idx {
+			continue
+		}
+		homes := make([]int64, n)
+		bad := false
+		for i := range homes {
+			homes[i] = int64(be.Uint64(cb[commitHdrSize+8*i:]))
+			// A record homes to the superblock or a block past the ring;
+			// anything else is garbage from a torn commit block.
+			if homes[i] != 0 && homes[i] < journalBase+ringR {
+				bad = true
+				break
+			}
+			if homes[i] >= nblocks {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		h := crc64.New(crcTable)
+		h.Write(cb[8:56])
+		h.Write(cb[commitHdrSize : commitHdrSize+8*n])
+		records := make([][]byte, n)
+		for i := range records {
+			if err := dev.ReadBlock(journalBase+(start+int64(i))%ringR, rec); err != nil {
+				return nil, 0, err
+			}
+			records[i] = append([]byte(nil), rec...)
+			h.Write(records[i])
+		}
+		if h.Sum64() != be.Uint64(cb[56:]) {
+			continue
+		}
+		if _, dup := cands[seq]; dup {
+			continue // stale ghost from a reused region; first wins
+		}
+		cands[seq] = &ringCommit{seq: seq, tailSeq: tail, start: start, ring: ringR, homes: homes, records: records}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	return cands, maxSeq, nil
+}
+
+// replayJournal re-applies the committed batches sitting on the journal
+// ring, if any. The replay window is [tailSeq of the newest valid commit,
+// newest]: older batches are checkpointed and durable by the watermark
+// invariant. Within the window the longest valid suffix is applied in
+// sequence order (later images win), which is idempotent — replay after
+// replay is a no-op. Torn or absent batches never committed and are
+// silently discarded. Returns whether anything was actually re-applied.
+//
+// The superblock bounds the scan when it is intact; when it is torn, the
+// self-describing commit blocks carry enough geometry to validate
+// themselves, so replay still works — and typically restores the
+// superblock, whose image travels in every batch.
 func replayJournal(dev blockdev.Device) (bool, error) {
 	nblocks := dev.NumBlocks()
-	if nblocks <= journalSlot+1 {
+	if nblocks <= journalBase+1 {
 		return false, nil
 	}
-	cb := make([]byte, BlockSize)
-	if err := dev.ReadBlock(journalSlot, cb); err != nil {
+	var ringBlocks int64
+	sbb := make([]byte, BlockSize)
+	if err := dev.ReadBlock(0, sbb); err == nil {
+		var sb superblock
+		if sb.decode(sbb) == nil && sb.validate(nblocks) == nil {
+			ringBlocks = sb.journalBlocks
+		}
+	}
+	cands, maxSeq, err := scanRing(dev, ringBlocks)
+	if err != nil {
 		return false, err
 	}
-	be := binary.BigEndian
-	if be.Uint64(cb[0:]) != journalMagic {
+	if maxSeq == 0 {
 		return false, nil
 	}
-	n := be.Uint64(cb[16:])
-	if n == 0 || n > maxJournalRecords {
-		return false, nil
+	lo := cands[maxSeq].tailSeq
+	start := maxSeq
+	for start > lo && cands[start-1] != nil {
+		start--
 	}
-	bns := make([]int64, n)
-	for i := range bns {
-		bns[i] = int64(be.Uint64(cb[commitHdrSize+8*i:]))
-		// A record names the superblock or a block past the record area;
-		// anything else is garbage from a torn commit block.
-		if bns[i] != 0 && bns[i] < journalSlot+1+int64(n) {
-			return false, nil
-		}
-		if bns[i] >= nblocks {
-			return false, nil
+	// Fold the window into final per-block images (later batches win).
+	final := make(map[int64][]byte)
+	for s := start; s <= maxSeq; s++ {
+		c := cands[s]
+		for i, bn := range c.homes {
+			final[bn] = c.records[i]
 		}
 	}
-	if journalSlot+1+int64(n) > nblocks {
-		return false, nil
-	}
-	records := make([][]byte, n)
-	h := crc64.New(crcTable)
-	h.Write(cb[8:24])
-	h.Write(cb[commitHdrSize : commitHdrSize+8*int(n)])
-	for i := range records {
-		records[i] = make([]byte, BlockSize)
-		if err := dev.ReadBlock(journalSlot+1+int64(i), records[i]); err != nil {
-			return false, err
-		}
-		h.Write(records[i])
-	}
-	if h.Sum64() != be.Uint64(cb[24:]) {
-		return false, nil
-	}
-	// A checkpointed transaction's records already match their home
-	// locations (the normal state after a clean unmount); applying it
-	// again would be a harmless no-op, so skip it and only report replays
-	// that actually recovered something.
+	// A fully checkpointed window already matches the home locations (the
+	// normal state after a clean unmount); applying it again would be a
+	// harmless no-op, so skip it and only report replays that actually
+	// recovered something.
 	home := make([]byte, BlockSize)
 	current := true
-	for i, bn := range bns {
+	for bn, img := range final {
 		if err := dev.ReadBlock(bn, home); err != nil {
 			return false, err
 		}
-		if !bytes.Equal(home, records[i]) {
+		if !bytes.Equal(home, img) {
 			current = false
 			break
 		}
@@ -271,8 +702,8 @@ func replayJournal(dev blockdev.Device) (bool, error) {
 	if current {
 		return false, nil
 	}
-	for i, bn := range bns {
-		if err := dev.WriteBlock(bn, records[i]); err != nil {
+	for bn, img := range final {
+		if err := dev.WriteBlock(bn, img); err != nil {
 			return false, err
 		}
 	}
@@ -283,15 +714,31 @@ func replayJournal(dev blockdev.Device) (bool, error) {
 	return true, nil
 }
 
-// eraseJournal invalidates the journal slot. fsck uses it after repairs:
-// replaying a stale transaction over a repaired image could reintroduce
-// the inconsistency.
+// eraseJournal invalidates every commit block on the ring. fsck uses it
+// after repairs: replaying a stale batch over a repaired image could
+// reintroduce the inconsistency.
 func eraseJournal(dev blockdev.Device) error {
-	if dev.NumBlocks() <= journalSlot {
+	var ringBlocks int64
+	sbb := make([]byte, BlockSize)
+	if err := dev.ReadBlock(0, sbb); err == nil {
+		var sb superblock
+		if sb.decode(sbb) == nil && sb.validate(dev.NumBlocks()) == nil {
+			ringBlocks = sb.journalBlocks
+		}
+	}
+	cands, maxSeq, err := scanRing(dev, ringBlocks)
+	if err != nil {
+		return err
+	}
+	if maxSeq == 0 {
 		return nil
 	}
-	if err := dev.WriteBlock(journalSlot, make([]byte, BlockSize)); err != nil {
-		return err
+	zero := make([]byte, BlockSize)
+	for _, c := range cands {
+		idx := (c.start + int64(len(c.homes))) % c.ring
+		if err := dev.WriteBlock(journalBase+idx, zero); err != nil {
+			return err
+		}
 	}
 	return dev.Flush()
 }
@@ -313,13 +760,17 @@ func (fs *DiskFS) metaWrite(bn int64, buf []byte) error {
 }
 
 // metaRead reads a metadata block, observing writes staged in the current
-// transaction. Caller holds fs.mu.
+// transaction, then images staged by queued-but-uncommitted (or
+// committed-but-unhomed) neighbours, then the device. Caller holds fs.mu.
 func (fs *DiskFS) metaRead(bn int64, buf []byte) error {
 	if fs.txn != nil {
 		if img, ok := fs.txn.writes[bn]; ok {
 			copy(buf, img)
 			return nil
 		}
+	}
+	if fs.journaled && fs.jnl != nil && fs.jnl.readStaged(bn, buf) {
+		return nil
 	}
 	return fs.dev.ReadBlock(bn, buf)
 }
@@ -355,14 +806,17 @@ func (fs *DiskFS) freeBlock(bn int64) error {
 // are write-through, so the in-memory state already reflects the partial
 // mutation and the disk must follow it. Only a commit (device) failure
 // leaves the two out of step, in which case the caches are invalidated and
-// reloaded from the device. Caller holds fs.mu.
+// reloaded from the device. Caller holds fs.mu; the lock is dropped while
+// the commit waits on the journal (the staged images keep concurrent
+// operations coherent), which is what lets independent mutations share one
+// commit barrier.
 func (fs *DiskFS) withTxn(fn func() error) error {
 	if fs.txn != nil {
 		return fn() // nested: the outermost caller commits
 	}
 	fs.txn = newTxn()
 	opErr := fn()
-	if cerr := fs.commitTxn(); cerr != nil {
+	if cerr := fs.commitTxn(true); cerr != nil {
 		if opErr != nil {
 			return fmt.Errorf("%w (commit also failed: %v)", opErr, cerr)
 		}
@@ -372,17 +826,29 @@ func (fs *DiskFS) withTxn(fn func() error) error {
 }
 
 // commitTxn finalises the current transaction: registered inodes and the
-// superblock are folded in, the journal protocol runs, and freed blocks
-// are zeroed. Caller holds fs.mu.
-func (fs *DiskFS) commitTxn() error {
+// superblock are folded in, the transaction is staged and group-committed,
+// and freed blocks are zeroed. Caller holds fs.mu; with unlock set the
+// lock is released around the journal wait so other operations can stage
+// behind this one and share its leader's barrier (txnMaybeSplit passes
+// false: a mid-operation split must not expose its intermediate in-memory
+// state).
+func (fs *DiskFS) commitTxn(unlock bool) error {
 	t := fs.txn
 	if t == nil {
 		return nil
 	}
-	commitErr := func() error {
-		if !fs.journaled {
-			return nil
+	if !fs.journaled {
+		fs.txn = nil
+		t.release()
+		for bn := range t.zeroAfter {
+			if err := fs.dev.WriteBlock(bn, fs.zero); err != nil {
+				return err
+			}
 		}
+		return nil
+	}
+	staged := false
+	commitErr := func() error {
 		for _, ci := range t.inodes {
 			if err := fs.writeInode(ci); err != nil {
 				return err
@@ -396,18 +862,35 @@ func (fs *DiskFS) commitTxn() error {
 		clear(sbbuf) // encode fills only a prefix; the block tail must be zeros
 		fs.sb.encode(sbbuf)
 		t.put(0, sbbuf)
-		return fs.jnl.commit(t)
+		fs.txn = nil
+		fs.jnl.stage(t)
+		staged = true
+		if unlock {
+			fs.mu.Unlock()
+			err := fs.jnl.commitGroup(t)
+			fs.mu.Lock()
+			return err
+		}
+		return fs.jnl.commitGroup(t)
 	}()
 	fs.txn = nil
-	t.release()
+	if !staged {
+		t.release()
+	}
 	if commitErr != nil {
 		fs.invalidateCaches()
 		return commitErr
 	}
-	if fs.journaled && !fs.jnl.checkpoint {
+	if !fs.jnl.checkpointOn() {
 		return nil
 	}
 	for bn := range t.zeroAfter {
+		// While the lock was dropped a concurrent transaction may have
+		// re-allocated the freed block (and staged its own zero image);
+		// zeroing it now would destroy that transaction's view.
+		if fs.alloc.isSet(bn) {
+			continue
+		}
 		if err := fs.dev.WriteBlock(bn, fs.zero); err != nil {
 			return err
 		}
@@ -419,7 +902,8 @@ func (fs *DiskFS) commitTxn() error {
 // it is close to journal capacity. Long frees (truncating a large file)
 // call it at points where the intermediate state is self-consistent: ci is
 // registered in both halves, so each commit carries the inode image
-// matching its bitmap and pointer-block changes. Caller holds fs.mu.
+// matching its bitmap and pointer-block changes. Caller holds fs.mu; the
+// split commits without dropping it.
 func (fs *DiskFS) txnMaybeSplit(ci *cachedInode) error {
 	t := fs.txn
 	if t == nil || !fs.journaled {
@@ -428,7 +912,7 @@ func (fs *DiskFS) txnMaybeSplit(ci *cachedInode) error {
 	if len(t.order) < fs.jnl.capacity()/2 {
 		return nil
 	}
-	if err := fs.commitTxn(); err != nil {
+	if err := fs.commitTxn(false); err != nil {
 		return err
 	}
 	fs.txn = newTxn()
@@ -444,8 +928,8 @@ func (fs *DiskFS) invalidateCaches() {
 	fs.icache = make(map[uint64]*cachedInode)
 	fs.dcache = make(map[uint64][]dirEntry)
 	fs.mcache = make(map[int64][]int64)
-	// A committed-but-not-checkpointed transaction may be sitting in the
-	// journal; fold it in before re-reading state.
+	// Committed-but-not-checkpointed batches may be sitting in the
+	// journal; fold them in before re-reading state.
 	_, _ = replayJournal(fs.dev)
 	buf := make([]byte, BlockSize)
 	if err := fs.dev.ReadBlock(0, buf); err == nil {
@@ -470,20 +954,31 @@ func (fs *DiskFS) SetJournaled(on bool) {
 	fs.journaled = on
 }
 
-// SetJournalCheckpoint controls whether committed transactions are
-// immediately checkpointed to their home locations (the default). fsbench
-// -recovery disables it so the last committed transaction stays in the
-// journal for the next Mount to replay.
+// SetJournalCheckpoint controls whether committed batches are immediately
+// checkpointed to their home locations (the default). fsbench -recovery
+// disables it so committed batches stay in the journal for the next Mount
+// to replay.
 func (fs *DiskFS) SetJournalCheckpoint(on bool) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.jnl.qmu.Lock()
+	defer fs.jnl.qmu.Unlock()
 	fs.jnl.checkpoint = on
 }
 
 // LastTxnRecords reports the record count of the most recently committed
-// transaction (benchmarks).
+// batch (benchmarks).
 func (fs *DiskFS) LastTxnRecords() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.jnl.qmu.Lock()
+	defer fs.jnl.qmu.Unlock()
 	return fs.jnl.lastRecords
+}
+
+// JournalStats reports this mount's commit activity: transactions
+// committed, batches (= commit barriers) written, and how many of the
+// transactions shared their barrier with at least one other. Tests use
+// this per-mount view; the global counterparts are the
+// disk.journal.txns/batches/batched counters.
+func (fs *DiskFS) JournalStats() (txns, batches, batched int64) {
+	fs.jnl.qmu.Lock()
+	defer fs.jnl.qmu.Unlock()
+	return fs.jnl.statTxns, fs.jnl.statBatches, fs.jnl.statBatched
 }

@@ -54,7 +54,7 @@ func (m *MappedIO) mapSelf() (*vm.Mapping, error) {
 			return nil, err
 		}
 		m.mapping = mapping
-		if m.readAhead > 0 {
+		if m.readAhead != 0 {
 			mapping.Cache().SetReadAhead(m.readAhead)
 		}
 	}

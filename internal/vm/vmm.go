@@ -382,8 +382,18 @@ type FileCache struct {
 	cond      *sync.Cond
 	pages     map[int64]*page
 	destroyed bool
-	readAhead int // extra pages to request via HintedPager, 0 = none
+	// readAhead selects the fault clustering policy when the pager
+	// supports page-in hints: < 0 disables hints entirely, 0 (the
+	// default) is adaptive — read faults offer the pager a wide window
+	// and let its stream detector decide how much to return — and > 0
+	// requests exactly that many extra pages on every fault.
+	readAhead int
 }
+
+// adaptiveReadAheadPages is the hint window offered to the pager in
+// adaptive mode (readAhead == 0). The pager's own sequential-stream
+// detection decides how much of it to fill.
+const adaptiveReadAheadPages = 64
 
 // ID returns the connection identifier (equals the rights token id).
 func (fc *FileCache) ID() uint64 { return fc.id }
@@ -391,8 +401,11 @@ func (fc *FileCache) ID() uint64 { return fc.id }
 // Pager returns the pager object the cache faults from.
 func (fc *FileCache) Pager() PagerObject { return fc.pager }
 
-// SetReadAhead configures how many extra pages to request on a fault when
-// the pager supports page-in hints (paper Section 8).
+// SetReadAhead configures fault clustering when the pager supports
+// page-in hints (paper Section 8): pages > 0 requests that many extra
+// pages on every fault, pages == 0 (the default) lets the pager's
+// sequential-stream detector size the cluster, and pages < 0 turns
+// hinted page-ins off.
 func (fc *FileCache) SetReadAhead(pages int) {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
@@ -554,13 +567,21 @@ func (fc *FileCache) fault(pn int64, want Rights) (p *page, retry bool, err erro
 
 	var data []byte
 	t := opPageIn.Start()
-	if ra > 0 {
+	// Adaptive clustering applies to read faults only: a write fault
+	// that drags extra pages in would also drag their write rights from
+	// a coherent pager, stealing blocks other clients are using.
+	hinted := false
+	if ra > 0 || (ra == 0 && !want.CanWrite()) {
 		if hp, ok := spring.Narrow[HintedPager](fc.pager); ok {
-			data, err = hp.PageInHint(pn*PageSize, PageSize, Offset(ra+1)*PageSize, want)
-		} else {
-			data, err = fc.pager.PageIn(pn*PageSize, PageSize, want)
+			maxPages := Offset(ra + 1)
+			if ra == 0 {
+				maxPages = adaptiveReadAheadPages
+			}
+			data, err = hp.PageInHint(pn*PageSize, PageSize, maxPages*PageSize, want)
+			hinted = true
 		}
-	} else {
+	}
+	if !hinted {
 		data, err = fc.pager.PageIn(pn*PageSize, PageSize, want)
 	}
 	opPageIn.End(t, int64(len(data)))

@@ -14,6 +14,10 @@
 //	fsbench -parallel 16       # cached hot-path scaling up to 16 goroutines
 //	fsbench -metaops           # metadata txn throughput under group commit
 //	fsbench -stream            # streaming reads: read-ahead + extent layout
+//	fsbench -soak 60s          # trace-driven soak over DFS: network faults,
+//	                           # power cuts, fsck + byte-identical verification
+//	                           # (-soak-clients, -soak-crashes, -soak-drop,
+//	                           #  -soak-delay, -soak-seed; see docs/POSIX.md)
 //	fsbench -all               # everything
 //	fsbench -iters 5000        # iterations per cached row
 //	fsbench -disk1993          # use the full 1993 disk latency model
@@ -60,9 +64,16 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
+
+		soakDur     = flag.Duration("soak", 0, "run the crash/fault soak for at least this long (e.g. -soak 60s)")
+		soakClients = flag.Int("soak-clients", 4, "simulated client machines in the soak")
+		soakCrashes = flag.Int("soak-crashes", 20, "minimum power cuts before the soak may end")
+		soakDrop    = flag.Float64("soak-drop", 0.01, "per-message drop probability on the soak network")
+		soakDelay   = flag.Float64("soak-delay", 0.05, "per-message extra-delay probability on the soak network")
+		soakSeed    = flag.Int64("soak-seed", 1, "soak determinism seed")
 	)
 	flag.Parse()
-	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*metaops && !*stream && !*all {
+	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*metaops && !*stream && *soakDur == 0 && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -132,6 +143,18 @@ func main() {
 	if *stream || *all {
 		if err := runStream(latency, *iters); err != nil {
 			fail("stream", err)
+		}
+	}
+	if *soakDur > 0 {
+		if err := runSoak(soakConfig{
+			dur:     *soakDur,
+			clients: *soakClients,
+			crashes: *soakCrashes,
+			drop:    *soakDrop,
+			delay:   *soakDelay,
+			seed:    *soakSeed,
+		}); err != nil {
+			fail("soak", err)
 		}
 	}
 	stopProfiles()

@@ -258,3 +258,17 @@ func (f *cfsFile) Sync() error {
 	}
 	return f.lower.Sync()
 }
+
+// Append implements fsys.Appender by forwarding to the remote file, so the
+// append executes at the home node where the authoritative end of file
+// lives. The coherency callbacks that precede the home-node write pull any
+// locally cached dirty EOF page back first, exactly as for a remote WriteAt.
+func (f *cfsFile) Append(p []byte) (int64, int, error) {
+	return fsys.Append(f.lower, p)
+}
+
+// Retain implements fsys.HandleFile.
+func (f *cfsFile) Retain() { fsys.Retain(f.lower) }
+
+// Release implements fsys.HandleFile.
+func (f *cfsFile) Release() error { return fsys.Release(f.lower) }

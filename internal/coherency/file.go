@@ -603,6 +603,14 @@ func (f *cohFile) Stat() (fsys.Attributes, error) {
 	return attrs, err
 }
 
+// Retain implements fsys.HandleFile, forwarding the open-handle count to
+// the layer that owns the storage (unlink-while-open defers reclamation to
+// the last release).
+func (f *cohFile) Retain() { fsys.Retain(f.lower) }
+
+// Release implements fsys.HandleFile.
+func (f *cohFile) Release() error { return fsys.Release(f.lower) }
+
 // Sync implements fsys.File: push modified pages from the local mapping
 // into this layer, write dirty blocks and attributes through to the lower
 // layer, and sync the lower file.

@@ -231,6 +231,39 @@ func (c *CompFS) Remove(name string, cred naming.Credentials) error {
 	return under.Remove(name, cred)
 }
 
+// Rename implements fsys.FS: the lower layer does the atomic move; this
+// layer drops the wrapper of an overwritten destination. The moving file's
+// wrapper is keyed by the lower file's identity, not its name.
+func (c *CompFS) Rename(oldname, newname string, cred naming.Credentials) error {
+	under, err := c.underlying()
+	if err != nil {
+		return err
+	}
+	var dropKey any
+	if obj, rerr := under.Resolve(newname, cred); rerr == nil {
+		if lf, ok := obj.(fsys.File); ok {
+			dropKey = fsys.CanonicalKey(lf)
+		}
+	}
+	if dropKey != nil {
+		// Renaming a name onto itself must not drop the live wrapper.
+		if obj, rerr := under.Resolve(oldname, cred); rerr == nil {
+			if lf, ok := obj.(fsys.File); ok && fsys.CanonicalKey(lf) == dropKey {
+				dropKey = nil
+			}
+		}
+	}
+	if err := under.Rename(oldname, newname, cred); err != nil {
+		return err
+	}
+	if dropKey != nil {
+		c.mu.Lock()
+		delete(c.files, dropKey)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
 // SyncFS implements fsys.FS.
 func (c *CompFS) SyncFS() error {
 	under, err := c.underlying()

@@ -460,6 +460,12 @@ func (f *compFile) Sync() error {
 	return f.lower.Sync()
 }
 
+// Retain implements fsys.HandleFile, forwarding toward the storage owner.
+func (f *compFile) Retain() { fsys.Retain(f.lower) }
+
+// Release implements fsys.HandleFile.
+func (f *compFile) Release() error { return fsys.Release(f.lower) }
+
 // CompressionRatio reports compressed/uncompressed size for the file's
 // current contents (1.0 = no saving; tests and examples).
 func (f *compFile) CompressionRatio() (float64, error) {

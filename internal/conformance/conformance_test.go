@@ -1,0 +1,26 @@
+package conformance
+
+import "testing"
+
+// TestConformance runs the full suite against every stack shape. CI runs
+// this with -race -count=2.
+func TestConformance(t *testing.T) {
+	for _, shape := range StackNames {
+		shape := shape
+		t.Run(shape, func(t *testing.T) {
+			s, err := BuildStack(shape)
+			if err != nil {
+				t.Fatalf("building stack: %v", err)
+			}
+			defer s.Close()
+			for _, c := range Checks() {
+				c := c
+				t.Run(c.Name, func(t *testing.T) {
+					if err := c.Fn(s); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package conformance
+
+import (
+	"testing"
+
+	"springfs/internal/unixapi"
+)
+
+// TestInodeReuseStale is the regression test for a data-leak bug the sparse
+// check first exposed: the disk layer keys pager-cache connections by inode
+// number, so when an unlinked file's inode was reallocated, the VMM served
+// the dead file's cached pages to the new file. The fix purges cached pages
+// whenever an inode is freed (unlink, rename-over, last-close reclaim) or a
+// file is truncated.
+func TestInodeReuseStale(t *testing.T) {
+	s, err := BuildStack("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p, err := s.NewProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate a file (its first page is now warm in the VMM), truncate it,
+	// and unlink it so its inode goes back to the pool.
+	fd, err := p.Open("a.txt", unixapi.O_CREAT|unixapi.O_EXCL|unixapi.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	fd, err = p.Open("a.txt", unixapi.O_TRUNC|unixapi.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unlink("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh file reuses the inode; a sparse write keeps offset 0 a hole.
+	// Reading the hole must yield zeros, not the dead file's cached page.
+	fd, err = p.Open("b.bin", unixapi.O_CREAT|unixapi.O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close(fd)
+	if _, err := p.Pwrite(fd, []byte{0xAA}, 262144); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := p.Pread(fd, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole byte %d reads %#x (stale data from the unlinked file), want 0", i, buf[i])
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package conformance
+
+import (
+	"fmt"
+
+	"springfs"
+	"springfs/internal/blockdev"
+	"springfs/internal/dfs"
+	"springfs/internal/disklayer"
+	"springfs/internal/naming"
+	"springfs/internal/unixapi"
+)
+
+// StackNames lists the shapes BuildStack knows, in the order the suite
+// normally runs them.
+var StackNames = []string{"disk", "sfs-compfs", "sfs-cryptfs", "mirror", "dfs-remote"}
+
+// BuildStack assembles one named stack shape on fresh simulated hardware.
+func BuildStack(name string) (*Stack, error) {
+	switch name {
+	case "disk":
+		return newDiskStack()
+	case "sfs-compfs":
+		return newCompStack()
+	case "sfs-cryptfs":
+		return newCryptStack()
+	case "mirror":
+		return newMirrorStack()
+	case "dfs-remote":
+		return newDFSStack()
+	}
+	return nil, fmt.Errorf("conformance: unknown stack shape %q", name)
+}
+
+// sharedProcs adapts a single shared file system to the Stack interface:
+// every process is a sibling on the one node.
+func sharedProcs(fs springfs.StackableFS) func() (*unixapi.Process, error) {
+	return func() (*unixapi.Process, error) {
+		return unixapi.NewProcess(fs, naming.Root), nil
+	}
+}
+
+// newDiskStack is the base shape: the raw (non-coherent) disk layer alone.
+func newDiskStack() (*Stack, error) {
+	node := springfs.NewNode("conf-disk")
+	dev := blockdev.NewMem(8192, blockdev.ProfileNone)
+	if err := disklayer.Mkfs(dev, disklayer.MkfsOptions{}); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	disk, err := disklayer.Mount(dev, node.NewDomain("disk"), node.VMM(), "conf-disk")
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Stack{
+		Name:       "disk",
+		NewProcess: sharedProcs(disk),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newCompStack: COMPFS (coherent mode) on SFS.
+func newCompStack() (*Stack, error) {
+	node := springfs.NewNode("conf-comp")
+	sfs, err := node.NewSFS("sfs", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	comp := node.NewCompFS("compfs", true)
+	if err := comp.StackOn(sfs.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Stack{
+		Name:       "sfs-compfs",
+		NewProcess: sharedProcs(comp),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newCryptStack: CryptFS on SFS.
+func newCryptStack() (*Stack, error) {
+	node := springfs.NewNode("conf-crypt")
+	sfs, err := node.NewSFS("sfs", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	crypt, err := node.NewCryptFS("cryptfs", "conformance-passphrase")
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := crypt.StackOn(sfs.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Stack{
+		Name:       "sfs-cryptfs",
+		NewProcess: sharedProcs(crypt),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newMirrorStack: the mirroring layer over two SFS instances (fs4 of
+// Figure 3).
+func newMirrorStack() (*Stack, error) {
+	node := springfs.NewNode("conf-mirror")
+	sfs1, err := node.NewSFS("sfs1", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	sfs2, err := node.NewSFS("sfs2", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	mirror := node.NewMirrorFS("mirror")
+	if err := mirror.StackOn(sfs1.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := mirror.StackOn(sfs2.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Stack{
+		Name:       "mirror",
+		NewProcess: sharedProcs(mirror),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newDFSStack: SFS on a home node exported by a DFS server; every process
+// runs on its own remote machine, dialing a fresh connection, so the suite
+// exercises cross-machine semantics (unlink on one machine vs an open
+// descriptor on another, appends racing across the network).
+func newDFSStack() (*Stack, error) {
+	home := springfs.NewNode("conf-home")
+	sfs, err := home.NewSFS("sfs", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		home.Stop()
+		return nil, err
+	}
+	network := springfs.NewNetwork(springfs.LANInstant)
+	l, err := network.Listen("home:dfs")
+	if err != nil {
+		home.Stop()
+		return nil, err
+	}
+	if _, err := home.ServeDFS("dfs", sfs.FS(), l); err != nil {
+		home.Stop()
+		return nil, err
+	}
+
+	var nodes []*springfs.Node
+	var clients []*dfs.Client
+	n := 0
+	newProcess := func() (*unixapi.Process, error) {
+		n++
+		machine := springfs.NewNode(fmt.Sprintf("conf-remote%d", n))
+		conn, err := network.Dial("home:dfs")
+		if err != nil {
+			machine.Stop()
+			return nil, err
+		}
+		client := machine.DialDFS(conn, fmt.Sprintf("dfsc%d", n))
+		nodes = append(nodes, machine)
+		clients = append(clients, client)
+		return unixapi.NewProcess(dfs.NewClientFS(client, "dfs-remote"), naming.Root), nil
+	}
+	return &Stack{
+		Name:       "dfs-remote",
+		NewProcess: newProcess,
+		Close: func() {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+			for _, nd := range nodes {
+				nd.Stop()
+			}
+			home.Stop()
+		},
+	}, nil
+}

@@ -174,6 +174,39 @@ func (c *CryptFS) Remove(name string, cred naming.Credentials) error {
 	return under.Remove(name, cred)
 }
 
+// Rename implements fsys.FS: the lower layer does the atomic move; this
+// layer drops the wrapper of an overwritten destination. The moving file's
+// wrapper is keyed by the lower file's identity, not its name.
+func (c *CryptFS) Rename(oldname, newname string, cred naming.Credentials) error {
+	under, err := c.underlying()
+	if err != nil {
+		return err
+	}
+	var dropKey any
+	if obj, rerr := under.Resolve(newname, cred); rerr == nil {
+		if lf, ok := obj.(fsys.File); ok {
+			dropKey = fsys.CanonicalKey(lf)
+		}
+	}
+	if dropKey != nil {
+		// Renaming a name onto itself must not drop the live wrapper.
+		if obj, rerr := under.Resolve(oldname, cred); rerr == nil {
+			if lf, ok := obj.(fsys.File); ok && fsys.CanonicalKey(lf) == dropKey {
+				dropKey = nil
+			}
+		}
+	}
+	if err := under.Rename(oldname, newname, cred); err != nil {
+		return err
+	}
+	if dropKey != nil {
+		c.mu.Lock()
+		delete(c.files, dropKey)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
 // SyncFS implements fsys.FS.
 func (c *CryptFS) SyncFS() error {
 	under, err := c.underlying()
@@ -268,14 +301,33 @@ func (f *cryptFile) WrapForChannel(ch *spring.Channel) naming.Object {
 	return fsys.NewFileProxy(ch, f)
 }
 
-// readBlock returns the plaintext of block bn.
+// readBlock returns the plaintext of block bn. Only the bytes the lower
+// layer actually holds are decrypted: a hole (sparse write, truncate-up)
+// reads back as zeros below, and zeros are not ciphertext — an all-zero
+// lower block denotes a hole and decodes to plaintext zeros, eCryptfs
+// style. (A real block whose CTR ciphertext is entirely zero is the only
+// ambiguity, with probability 2^-32768.)
 func (f *cryptFile) readBlock(bn int64) ([]byte, error) {
 	buf := make([]byte, BlockSize)
-	if _, err := f.lower.ReadAt(buf, bn*BlockSize); err != nil && err != io.EOF {
+	n, err := f.lower.ReadAt(buf, bn*BlockSize)
+	if err != nil && err != io.EOF {
 		return nil, err
 	}
-	f.fs.xorBlock(bn, buf)
+	if allZero(buf[:n]) {
+		return buf, nil
+	}
+	f.fs.xorBlock(bn, buf[:n])
 	return buf, nil
+}
+
+// allZero reports whether every byte of p is zero.
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // writeBlock encrypts and writes block bn.
@@ -370,6 +422,12 @@ func (f *cryptFile) Stat() (fsys.Attributes, error) { return f.lower.Stat() }
 
 // Sync implements fsys.File.
 func (f *cryptFile) Sync() error { return f.lower.Sync() }
+
+// Retain implements fsys.HandleFile, forwarding toward the storage owner.
+func (f *cryptFile) Retain() { fsys.Retain(f.lower) }
+
+// Release implements fsys.HandleFile.
+func (f *cryptFile) Release() error { return fsys.Release(f.lower) }
 
 // Bind implements vm.MemoryObject: the layer is the pager for its files.
 func (f *cryptFile) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {

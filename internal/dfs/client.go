@@ -133,6 +133,16 @@ func (c *Client) Remove(path string) error {
 	return err
 }
 
+// Rename atomically moves a remote name. The operation is not idempotent,
+// so a timed-out call is surfaced to the caller rather than retried.
+func (c *Client) Rename(oldpath, newpath string) error {
+	var e encoder
+	e.str(oldpath)
+	e.str(newpath)
+	_, err := c.call(OpRename, e.b)
+	return err
+}
+
 // Mkdir creates a remote directory.
 func (c *Client) Mkdir(path string) error {
 	var e encoder
@@ -373,6 +383,40 @@ func (f *RemoteFile) WriteAt(p []byte, off int64) (int, error) {
 	d := decoder{b: body}
 	n := int(d.u32())
 	return n, d.err
+}
+
+// Append implements fsys.Appender: the append executes at the home node,
+// where the one authoritative end-of-file lives, so concurrent O_APPEND
+// writers on any mix of machines get disjoint ranges.
+func (f *RemoteFile) Append(p []byte) (int64, int, error) {
+	var e encoder
+	e.u64(f.id)
+	e.bytes(p)
+	body, err := f.client.call(OpAppend, e.b)
+	if err != nil {
+		return 0, 0, err
+	}
+	f.attrs.Invalidate()
+	d := decoder{b: body}
+	off := d.i64()
+	n := int(d.u32())
+	return off, n, d.err
+}
+
+// Retain implements fsys.HandleFile: the handle is recorded at the home
+// node so an unlink anywhere defers reclamation until this client closes.
+func (f *RemoteFile) Retain() {
+	var e encoder
+	e.u64(f.id)
+	_, _ = f.client.call(OpRetain, e.b) // best effort
+}
+
+// Release implements fsys.HandleFile.
+func (f *RemoteFile) Release() error {
+	var e encoder
+	e.u64(f.id)
+	_, err := f.client.call(OpRelease, e.b)
+	return err
 }
 
 // Stat implements fsys.File.

@@ -1,0 +1,177 @@
+package dfs
+
+import (
+	"errors"
+
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+)
+
+// ClientFS adapts a Client to the stackable_fs interface, so the exported
+// file system of a remote home node can be used wherever a local stack can:
+// bound into a name space, handed to a unixapi process, stacked under other
+// layers. Credentials are checked at the home node against the server's own
+// credentials; the client-side ones are not transmitted.
+type ClientFS struct {
+	client *Client
+	name   string
+}
+
+var _ fsys.StackableFS = (*ClientFS)(nil)
+
+// NewClientFS wraps client as a stackable file system named name.
+func NewClientFS(client *Client, name string) *ClientFS {
+	return &ClientFS{client: client, name: name}
+}
+
+// ErrRemoteBind is returned for naming operations DFS cannot express on the
+// wire (binding arbitrary local objects into a remote name space).
+var ErrRemoteBind = errors.New("dfs: cannot bind local objects in a remote name space")
+
+// FSName implements fsys.FS.
+func (c *ClientFS) FSName() string { return c.name }
+
+// Create implements fsys.FS.
+func (c *ClientFS) Create(name string, cred naming.Credentials) (fsys.File, error) {
+	return c.client.Create(name)
+}
+
+// Open implements fsys.FS.
+func (c *ClientFS) Open(name string, cred naming.Credentials) (fsys.File, error) {
+	return c.client.Open(name)
+}
+
+// Remove implements fsys.FS.
+func (c *ClientFS) Remove(name string, cred naming.Credentials) error {
+	return c.client.Remove(name)
+}
+
+// Rename implements fsys.FS.
+func (c *ClientFS) Rename(oldname, newname string, cred naming.Credentials) error {
+	return c.client.Rename(oldname, newname)
+}
+
+// SyncFS implements fsys.FS: every remote file this client has touched is
+// synced at the home node.
+func (c *ClientFS) SyncFS() error {
+	c.client.mu.Lock()
+	files := make([]*RemoteFile, 0, len(c.client.files))
+	for _, f := range c.client.files {
+		files = append(files, f)
+	}
+	c.client.mu.Unlock()
+	var first error
+	for _, f := range files {
+		if err := f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// StackOn implements fsys.StackableFS. The layer below a ClientFS is the
+// remote server's stack; there is nothing local to stack on.
+func (c *ClientFS) StackOn(under fsys.StackableFS) error { return fsys.ErrAlreadyStacked }
+
+// resolve is the shared Resolve walk: files come back as RemoteFiles, and a
+// path that fails to open but lists successfully is a directory.
+func (c *ClientFS) resolve(path string) (naming.Object, error) {
+	f, oerr := c.client.Open(path)
+	if oerr == nil {
+		return f, nil
+	}
+	if _, lerr := c.client.List(path); lerr == nil {
+		return &clientDir{fs: c, path: path}, nil
+	}
+	return nil, oerr
+}
+
+// Resolve implements naming.Context.
+func (c *ClientFS) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	return c.resolve(name)
+}
+
+// Bind implements naming.Context.
+func (c *ClientFS) Bind(name string, obj naming.Object, cred naming.Credentials) error {
+	return ErrRemoteBind
+}
+
+// Unbind implements naming.Context: removing a binding removes the remote
+// file (or empty directory), mirroring the server-side Unbind semantics.
+func (c *ClientFS) Unbind(name string, cred naming.Credentials) error {
+	return c.client.Remove(name)
+}
+
+// List implements naming.Context.
+func (c *ClientFS) List(cred naming.Credentials) ([]naming.Binding, error) {
+	return c.list("")
+}
+
+// CreateContext implements naming.Context.
+func (c *ClientFS) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
+	if err := c.client.Mkdir(name); err != nil {
+		return nil, err
+	}
+	return &clientDir{fs: c, path: name}, nil
+}
+
+// list converts a remote listing to bindings. Files are represented by
+// lightweight markers, not opened RemoteFiles: a listing of N entries costs
+// one round trip, and callers that want the file resolve its full path.
+func (c *ClientFS) list(path string) ([]naming.Binding, error) {
+	entries, err := c.client.List(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]naming.Binding, 0, len(entries))
+	for _, e := range entries {
+		var obj naming.Object = remoteEntry{}
+		if e.IsDir {
+			sub := e.Name
+			if path != "" {
+				sub = path + "/" + e.Name
+			}
+			obj = &clientDir{fs: c, path: sub}
+		}
+		out = append(out, naming.Binding{Name: e.Name, Object: obj})
+	}
+	return out, nil
+}
+
+// remoteEntry marks a non-directory listing entry that has not been opened.
+type remoteEntry struct{}
+
+// clientDir is a remote directory viewed as a naming context.
+type clientDir struct {
+	fs   *ClientFS
+	path string
+}
+
+var _ naming.Context = (*clientDir)(nil)
+
+func (d *clientDir) join(name string) string { return d.path + "/" + name }
+
+// Resolve implements naming.Context.
+func (d *clientDir) Resolve(name string, cred naming.Credentials) (naming.Object, error) {
+	return d.fs.resolve(d.join(name))
+}
+
+// Bind implements naming.Context.
+func (d *clientDir) Bind(name string, obj naming.Object, cred naming.Credentials) error {
+	return ErrRemoteBind
+}
+
+// Unbind implements naming.Context.
+func (d *clientDir) Unbind(name string, cred naming.Credentials) error {
+	return d.fs.client.Remove(d.join(name))
+}
+
+// List implements naming.Context.
+func (d *clientDir) List(cred naming.Credentials) ([]naming.Binding, error) {
+	return d.fs.list(d.path)
+}
+
+// CreateContext implements naming.Context.
+func (d *clientDir) CreateContext(name string, cred naming.Credentials) (naming.Context, error) {
+	return d.fs.CreateContext(d.join(name), cred)
+}

@@ -18,6 +18,9 @@ type srvClient struct {
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
+	// retained counts OpRetain handles per file, so a client that dies
+	// without releasing them does not pin unlinked files forever.
+	retained map[uint64]int
 }
 
 // sessionFor returns (creating if needed) the session for fileID.
@@ -44,9 +47,20 @@ func (c *srvClient) teardown() {
 		sessions = append(sessions, se)
 	}
 	c.sessions = make(map[uint64]*session)
+	retained := c.retained
+	c.retained = make(map[uint64]int)
 	c.mu.Unlock()
 	for _, se := range sessions {
 		se.release()
+	}
+	// Drop the departed client's open-handle claims so its unlinked files
+	// can be reclaimed by the survivors' last close.
+	for fileID, n := range retained {
+		if lower, err := c.srv.lowerByID(fileID); err == nil {
+			for i := 0; i < n; i++ {
+				_ = fsys.Release(lower)
+			}
+		}
 	}
 	c.srv.mu.Lock()
 	delete(c.srv.clients, c)
@@ -124,6 +138,75 @@ func (c *srvClient) handle(op Op, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return nil, under.Remove(path, cred)
+
+	case OpRename:
+		oldpath := d.str()
+		newpath := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		under, err := c.srv.underlying()
+		if err != nil {
+			return nil, err
+		}
+		return nil, under.Rename(oldpath, newpath, cred)
+
+	case OpAppend:
+		fileID := d.u64()
+		data := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		off, n, err := fsys.Append(lower, data)
+		if err != nil {
+			return nil, err
+		}
+		var e encoder
+		e.i64(off)
+		e.u32(uint32(n))
+		return e.b, nil
+
+	case OpRetain:
+		fileID := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		fsys.Retain(lower)
+		c.mu.Lock()
+		c.retained[fileID]++
+		c.mu.Unlock()
+		return nil, nil
+
+	case OpRelease:
+		fileID := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		lower, err := c.srv.lowerByID(fileID)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		tracked := c.retained[fileID] > 0
+		if tracked {
+			c.retained[fileID]--
+			if c.retained[fileID] == 0 {
+				delete(c.retained, fileID)
+			}
+		}
+		c.mu.Unlock()
+		if !tracked {
+			return nil, nil // never retained (or already torn down): no claim to drop
+		}
+		return nil, fsys.Release(lower)
 
 	case OpMkdir:
 		path := d.str()

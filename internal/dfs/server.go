@@ -139,7 +139,7 @@ func (s *Server) Serve(l net.Listener) {
 // addClient starts serving one protocol connection (exported for tests
 // that build connections directly).
 func (s *Server) addClient(conn net.Conn) *srvClient {
-	c := &srvClient{srv: s, sessions: make(map[uint64]*session)}
+	c := &srvClient{srv: s, sessions: make(map[uint64]*session), retained: make(map[uint64]int)}
 	c.peer = newPeer(conn, c.handle, func(error) { c.teardown() })
 	c.peer.setTimeout(time.Duration(s.cbTimeout.Load()))
 	s.mu.Lock()
@@ -235,6 +235,17 @@ func (s *Server) Remove(name string, cred naming.Credentials) error {
 		return err
 	}
 	return under.Remove(name, cred)
+}
+
+// Rename implements fsys.FS: the lower layer does the atomic move. Local
+// wrappers are keyed by the lower file's identity, so no re-keying is
+// needed.
+func (s *Server) Rename(oldname, newname string, cred naming.Credentials) error {
+	under, err := s.underlying()
+	if err != nil {
+		return err
+	}
+	return under.Rename(oldname, newname, cred)
 }
 
 // SyncFS implements fsys.FS.
@@ -356,6 +367,16 @@ func (f *dfsFile) Stat() (fsys.Attributes, error) { return f.lower.Stat() }
 
 // Sync implements fsys.File.
 func (f *dfsFile) Sync() error { return f.lower.Sync() }
+
+// Append implements fsys.Appender, forwarding to the lower file so local
+// and remote appenders converge on the same canonical end-of-file order.
+func (f *dfsFile) Append(p []byte) (int64, int, error) { return fsys.Append(f.lower, p) }
+
+// Retain implements fsys.HandleFile.
+func (f *dfsFile) Retain() { fsys.Retain(f.lower) }
+
+// Release implements fsys.HandleFile.
+func (f *dfsFile) Release() error { return fsys.Release(f.lower) }
 
 // ---- remote path ----
 

@@ -53,6 +53,20 @@ const (
 	// coherency holdings) synchronously, so home-node writers do not have to
 	// discover the departure through a timed-out revocation.
 	OpDetach
+	// OpRename atomically moves a name on the server. Like the other
+	// namespace mutations it is not idempotent: a lost response must not
+	// trigger a retry that fails (or re-applies) on the already-renamed
+	// name.
+	OpRename
+	// OpAppend writes at the server-side end of file, where the one
+	// authoritative length lives, so O_APPEND is atomic across every
+	// client of the file.
+	OpAppend
+	// OpRetain/OpRelease mirror fsys.Retain/Release over the wire so an
+	// unlink on any node defers storage reclamation until the last handle
+	// anywhere is closed.
+	OpRetain
+	OpRelease
 
 	// Server-to-client callbacks (coherency actions).
 	OpCbFlushBack
@@ -69,6 +83,8 @@ func (o Op) String() string {
 		OpPageIn: "page_in", OpPageOut: "page_out", OpGetAttr: "get_attr",
 		OpSetAttr: "set_attr", OpGetLen: "get_len", OpSetLen: "set_len",
 		OpSyncFile: "sync_file", OpClose: "close", OpDetach: "detach",
+		OpRename: "rename", OpAppend: "append", OpRetain: "retain",
+		OpRelease:     "release",
 		OpCbFlushBack: "cb_flush_back", OpCbDenyWrites: "cb_deny_writes",
 		OpCbDeleteRange: "cb_delete_range", OpCbInvalAttrs: "cb_inval_attrs",
 	}

@@ -43,6 +43,7 @@ const (
 	ProblemBadPointer     = "bad-pointer"     // block pointer outside the data region
 	ProblemDanglingEntry  = "dangling-entry"  // directory entry to a free or bad inode
 	ProblemDanglingInode  = "dangling-inode"  // allocated inode unreachable from the root
+	ProblemOrphanInode    = "orphan-inode"    // unlink-while-open orphan (nlink 0) left by a crash
 	ProblemBadRefcount    = "bad-refcount"    // nlink disagrees with directory references
 	ProblemBadDir         = "bad-dir"         // directory data does not decode
 	ProblemBadCounts      = "bad-counts"      // superblock free counters disagree
@@ -326,8 +327,15 @@ func scan(dev blockdev.Device) (*checkState, error) {
 		allocatedInodes++
 		got := links[ino]
 		if got == 0 {
-			st.problem(ProblemDanglingInode, "inode %d (mode %d, %d bytes) unreachable from the root",
-				ino, in.mode, in.length)
+			if in.mode == ModeFile && in.nlink == 0 {
+				// Not corruption: Remove orphaned the file (link count zeroed
+				// in the unlink transaction) and a crash beat the last-close
+				// reclaim. The repair is the same as Mount's orphan sweep.
+				st.problem(ProblemOrphanInode, "inode %d (%d bytes) orphaned by unlink-while-open", ino, in.length)
+			} else {
+				st.problem(ProblemDanglingInode, "inode %d (mode %d, %d bytes) unreachable from the root",
+					ino, in.mode, in.length)
+			}
 			st.freeInos = append(st.freeInos, ino)
 			continue
 		}

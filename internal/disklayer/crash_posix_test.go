@@ -1,0 +1,234 @@
+package disklayer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/fsys"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// Crash tests for the POSIX-semantics transactions: rename (including the
+// implicit unlink of an overwritten destination) and the deferred
+// unlink-while-open reclaim. Both follow the crash_test.go harness idiom —
+// cut the power at every write index inside the operation and require that
+// recovery sees either the complete old state or the complete new state.
+
+// crashRig is a fresh formatted image behind a CrashDevice with a mounted
+// file system on its own node.
+type crashRig struct {
+	crash *blockdev.CrashDevice
+	node  *spring.Node
+	fs    *DiskFS
+}
+
+func newCrashRig(t *testing.T, seed int64) *crashRig {
+	t.Helper()
+	inner := blockdev.NewMem(1024, blockdev.ProfileNone)
+	if err := Mkfs(inner, MkfsOptions{}); err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	crash := blockdev.NewCrash(inner, seed)
+	node := spring.NewNode("crash")
+	fs, err := Mount(crash, spring.NewDomain(node, "disk"), vm.New(spring.NewDomain(node, "vmm"), "vmm"), "crashfs")
+	if err != nil {
+		node.Stop()
+		t.Fatalf("Mount: %v", err)
+	}
+	return &crashRig{crash: crash, node: node, fs: fs}
+}
+
+// recover brings the image back after a power cut and hands the recovered
+// file system to verify. With fsckFirst, fsck runs in repair mode before
+// the mount (the repair path for orphans); otherwise Mount's own recovery
+// (journal replay + orphan sweep) is the path under test. Either way the
+// image must fsck clean once recovery has run.
+func (r *crashRig) recover(t *testing.T, fsckFirst bool, verify func(fs *DiskFS)) {
+	t.Helper()
+	r.crash.Restart()
+	if fsckFirst {
+		if _, err := Check(r.crash, true); err != nil {
+			t.Fatalf("fsck (repair): %v", err)
+		}
+		rep, err := Check(r.crash, false)
+		if err != nil {
+			t.Fatalf("fsck: %v", err)
+		}
+		if !rep.Clean {
+			t.Fatalf("fsck not clean after repair:\n%s", rep)
+		}
+	}
+	node := spring.NewNode("crash-recovered")
+	defer node.Stop()
+	fs, err := Mount(r.crash, spring.NewDomain(node, "disk"), vm.New(spring.NewDomain(node, "vmm"), "vmm"), "crashfs")
+	if err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	verify(fs)
+	if err := fs.Unmount(); err != nil {
+		t.Fatalf("unmount after recovery: %v", err)
+	}
+	rep, err := Check(r.crash, false)
+	if err != nil {
+		t.Fatalf("fsck after recovery: %v", err)
+	}
+	if !rep.Clean {
+		t.Fatalf("fsck not clean after recovered mount:\n%s", rep)
+	}
+}
+
+func readAll(t *testing.T, fs *DiskFS, path string, n int) []byte {
+	t.Helper()
+	f, err := fs.Open(path, naming.Root)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return buf
+}
+
+// TestCrashMidRename cuts the power at every write index inside a
+// rename-over-existing and requires atomicity: recovery sees either both
+// names in their old state or the destination fully replaced and the
+// source gone — never a torn mix, never both names gone.
+func TestCrashMidRename(t *testing.T) {
+	srcData := crashPattern("src.bin", 2*BlockSize+37)
+	dstData := crashPattern("dst.bin", BlockSize+11)
+
+	put := func(fs *DiskFS, path string, data []byte) {
+		f, err := fs.Create(path, naming.Root)
+		if err != nil {
+			t.Fatalf("create %s: %v", path, err)
+		}
+		if _, err := f.WriteAt(data, 0); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", path, err)
+		}
+	}
+
+	points := 0
+	for n := int64(1); ; n++ {
+		rig := newCrashRig(t, 9000+n)
+		put(rig.fs, "src.bin", srcData)
+		put(rig.fs, "dst.bin", dstData)
+		if err := rig.fs.SyncFS(); err != nil {
+			t.Fatalf("syncfs: %v", err)
+		}
+
+		rig.crash.CrashAfterN(n)
+		err := rig.fs.Rename("src.bin", "dst.bin", naming.Root)
+		completed := err == nil
+		if err != nil && !errors.Is(err, blockdev.ErrPowerCut) {
+			t.Fatalf("crash point %d: rename error is not a power cut: %v", n, err)
+		}
+		if completed {
+			// The trap never fired: the rename's whole write set is behind
+			// us. Cut anyway so this last point also exercises recovery of
+			// the committed transaction.
+			_ = rig.crash.PowerCut()
+		}
+
+		rig.recover(t, false, func(fs *DiskFS) {
+			if _, srcErr := fs.Open("src.bin", naming.Root); srcErr == nil {
+				// Old state: the rename must not have touched either file.
+				if !bytes.Equal(readAll(t, fs, "src.bin", len(srcData)), srcData) {
+					t.Fatalf("crash point %d: source corrupted in old state", n)
+				}
+				if !bytes.Equal(readAll(t, fs, "dst.bin", len(dstData)), dstData) {
+					t.Fatalf("crash point %d: destination corrupted in old state", n)
+				}
+			} else if !bytes.Equal(readAll(t, fs, "dst.bin", len(srcData)), srcData) {
+				// New state: the destination is exactly the source's bytes.
+				t.Fatalf("crash point %d: destination torn after committed rename", n)
+			}
+		})
+		rig.node.Stop()
+		if completed {
+			if n == 1 {
+				t.Fatal("rename buffered no writes; sweep never ran")
+			}
+			points = int(n - 1)
+			break
+		}
+	}
+	t.Logf("swept %d mid-rename crash points", points)
+}
+
+// TestCrashMidOrphanReclaim crashes inside the last-close reclaim of an
+// unlinked-while-open file: the unlink transaction (link count zero, entry
+// gone) is durable, the power dies during Release's free transaction, and
+// recovery — either fsck's orphan repair or Mount's sweep — must return
+// the storage without leaking blocks or breaking anything else.
+func TestCrashMidOrphanReclaim(t *testing.T) {
+	data := crashPattern("orphan.bin", 3*BlockSize+5)
+	for _, repairViaFsck := range []bool{true, false} {
+		points := 0
+		for n := int64(1); ; n++ {
+			rig := newCrashRig(t, 7000+n)
+			f, err := rig.fs.Create("orphan.bin", naming.Root)
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			fsys.Retain(f)
+			if _, err := f.WriteAt(data, 0); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+			if err := rig.fs.Remove("orphan.bin", naming.Root); err != nil {
+				t.Fatalf("remove: %v", err)
+			}
+			// The open handle must still serve the unlinked file's data.
+			if !bytes.Equal(readOpen(t, f, len(data)), data) {
+				t.Fatal("unlinked-while-open file unreadable through its handle")
+			}
+			if err := rig.fs.SyncFS(); err != nil {
+				t.Fatalf("syncfs: %v", err)
+			}
+
+			rig.crash.CrashAfterN(n)
+			err = fsys.Release(f)
+			completed := err == nil
+			if err != nil && !errors.Is(err, blockdev.ErrPowerCut) {
+				t.Fatalf("crash point %d: release error is not a power cut: %v", n, err)
+			}
+			if completed {
+				_ = rig.crash.PowerCut()
+			}
+
+			rig.recover(t, repairViaFsck, func(fs *DiskFS) {
+				if _, err := fs.Open("orphan.bin", naming.Root); err == nil {
+					t.Fatalf("crash point %d: unlinked file resurfaced after recovery", n)
+				}
+			})
+			rig.node.Stop()
+			if completed {
+				if n == 1 {
+					t.Fatal("reclaim buffered no writes; sweep never ran")
+				}
+				points = int(n - 1)
+				break
+			}
+		}
+		t.Logf("swept %d mid-reclaim crash points (fsck repair: %v)", points, repairViaFsck)
+	}
+}
+
+func readOpen(t *testing.T, f fsys.File, n int) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read open handle: %v", err)
+	}
+	return buf
+}

@@ -21,10 +21,17 @@ type diskFile struct {
 	fs  *DiskFS
 	ino uint64
 	io  *fsys.MappedIO
+
+	// refs counts open handles (fsys.Retain/Release), guarded by fs.mu.
+	// A file unlinked while refs > 0 is orphaned rather than freed; the
+	// last Release reclaims it.
+	refs int
 }
 
 var (
 	_ fsys.File             = (*diskFile)(nil)
+	_ fsys.Appender         = (*diskFile)(nil)
+	_ fsys.HandleFile       = (*diskFile)(nil)
 	_ naming.ProxyWrappable = (*diskFile)(nil)
 )
 
@@ -57,8 +64,15 @@ func (f *diskFile) GetLength() (vm.Offset, error) {
 }
 
 // SetLength implements vm.MemoryObject. A shrink frees blocks, which is a
-// journaled metadata mutation.
+// journaled metadata mutation; the wholly-vacated cached pages are purged
+// (outside the lock) so a later re-extension reads zeros, not the old tail.
 func (f *diskFile) SetLength(length vm.Offset) error {
+	shrunk := false
+	defer func() {
+		if shrunk {
+			f.fs.purgeCachedPages(f.ino, vm.RoundUp(length))
+		}
+	}()
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
 	ci, err := f.fs.readInode(f.ino)
@@ -66,6 +80,7 @@ func (f *diskFile) SetLength(length vm.Offset) error {
 		return err
 	}
 	if length < ci.in.length {
+		shrunk = true
 		return f.fs.withTxn(func() error {
 			return f.fs.truncateLocked(ci, length)
 		})
@@ -107,12 +122,82 @@ func (f *diskFile) touch(modified bool) {
 	if err != nil {
 		return
 	}
+	if ci.in.mode != ModeFile {
+		return
+	}
 	now := f.fs.now()
 	ci.in.atime = now
 	if modified {
 		ci.in.mtime = now
 	}
 	ci.dirty = true
+}
+
+// Append implements fsys.Appender: the end-of-file offset is read and the
+// byte range reserved in one critical section under the metadata lock, so
+// concurrent appenders always land on disjoint ranges; the data write then
+// proceeds outside the lock at the reserved offset.
+func (f *diskFile) Append(p []byte) (int64, int, error) {
+	f.fs.mu.Lock()
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		f.fs.mu.Unlock()
+		return 0, 0, err
+	}
+	if ci.in.mode != ModeFile {
+		f.fs.mu.Unlock()
+		return 0, 0, ErrBadInode
+	}
+	off := ci.in.length
+	ci.in.length = off + int64(len(p))
+	ci.in.mtime = f.fs.now()
+	ci.dirty = true
+	f.fs.mu.Unlock()
+	t := opWrite.Start()
+	n, err := f.io.WriteAt(p, off)
+	opWrite.End(t, int64(n))
+	return off, n, err
+}
+
+// Retain implements fsys.HandleFile: record one more open handle.
+func (f *diskFile) Retain() {
+	f.fs.mu.Lock()
+	f.refs++
+	f.fs.mu.Unlock()
+}
+
+// Release implements fsys.HandleFile: drop one handle and, when the file
+// was unlinked while open and this was the last handle, reclaim its inode
+// and blocks in a journal transaction of its own. A crash before that
+// transaction commits leaves the orphan for Mount's sweep.
+func (f *diskFile) Release() error {
+	freed := false
+	defer func() {
+		if freed {
+			f.fs.purgeCachedPages(f.ino, 0)
+		}
+	}()
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.refs > 0 {
+		f.refs--
+	}
+	if f.refs > 0 || f.fs.closed {
+		return nil
+	}
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		return err
+	}
+	if ci.in.mode != ModeFile || ci.in.nlink > 0 {
+		return nil
+	}
+	err = f.fs.withTxn(func() error {
+		return f.fs.freeInode(f.ino)
+	})
+	delete(f.fs.files, f.ino)
+	freed = err == nil
+	return err
 }
 
 // Stat implements fsys.File. It is served from the i-node cache without
@@ -147,6 +232,9 @@ func (f *diskFile) Sync() error {
 	ci, err := f.fs.readInode(f.ino)
 	if err != nil {
 		return err
+	}
+	if ci.in.mode != ModeFile {
+		return nil
 	}
 	return f.fs.withTxn(func() error {
 		return f.fs.writeInode(ci)
@@ -331,6 +419,13 @@ func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
 		fs.mu.Unlock()
 		return err
 	}
+	if ci.in.mode != ModeFile {
+		// The file was unlinked and reclaimed while a cache above still held
+		// dirty pages; its data is discardable, and allocating blocks into a
+		// freed (or since-reused) inode would corrupt the file system.
+		fs.mu.Unlock()
+		return nil
+	}
 	type ioReq struct {
 		bn  int64 // device block
 		fbn int64 // file block
@@ -388,6 +483,9 @@ func (p *diskPager) PageOut(offset, size vm.Offset, data []byte) error {
 	if err != nil {
 		return err
 	}
+	if ci.in.mode != ModeFile {
+		return nil
+	}
 	ci.in.mtime = fs.now()
 	ci.dirty = true
 	return nil
@@ -415,11 +513,20 @@ func (p *diskPager) GetAttributes() (fsys.Attributes, error) {
 // SetAttributes implements fsys.FsPagerObject.
 func (p *diskPager) SetAttributes(attrs fsys.Attributes) error {
 	fs := p.file.fs
+	shrunk := false
+	defer func() {
+		if shrunk {
+			fs.purgeCachedPages(p.file.ino, vm.RoundUp(attrs.Length))
+		}
+	}()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	ci, err := fs.readInode(p.file.ino)
 	if err != nil {
 		return err
+	}
+	if ci.in.mode != ModeFile {
+		return nil
 	}
 	if attrs.Length < ci.in.length {
 		if err := fs.withTxn(func() error {
@@ -427,6 +534,7 @@ func (p *diskPager) SetAttributes(attrs fsys.Attributes) error {
 		}); err != nil {
 			return err
 		}
+		shrunk = true
 	} else {
 		ci.in.length = attrs.Length
 	}

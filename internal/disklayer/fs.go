@@ -122,7 +122,39 @@ func Mount(dev blockdev.Device, domain *spring.Domain, vmm *vm.VMM, name string)
 		return nil, err
 	}
 	fs.jnl = jnl
+	// Sweep orphans: inodes unlinked while open whose last-close reclaim a
+	// crash cut short. The unlink transaction left them allocated with no
+	// links and no directory entry — their storage must go back to the pool
+	// now, while no handles can exist.
+	if err := fs.sweepOrphans(); err != nil {
+		return nil, err
+	}
 	return fs, nil
+}
+
+// sweepOrphans frees every file inode with a zero link count. Such inodes
+// are exactly the unlink-while-open orphans: Remove journals the zeroed
+// link count atomically with the directory update and defers block
+// reclamation to the last Release, so a crash in the window leaves the
+// inode allocated but unreferenced. Called from Mount, before any handle
+// can exist.
+func (fs *DiskFS) sweepOrphans() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for ino := uint64(1); int64(ino) <= fs.sb.ninodes; ino++ {
+		ci, err := fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		if ci.in.mode == ModeFile && ci.in.nlink == 0 {
+			if err := fs.withTxn(func() error {
+				return fs.freeInode(ino)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // now returns the current time in unix nanoseconds for inode stamps.
@@ -263,6 +295,12 @@ func (fs *DiskFS) Open(name string, cred naming.Credentials) (fsys.File, error) 
 
 // Remove implements fsys.FS.
 func (fs *DiskFS) Remove(name string, cred naming.Credentials) error {
+	var freedIno uint64
+	defer func() {
+		if freedIno != 0 {
+			fs.purgeCachedPages(freedIno, 0)
+		}
+	}()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.closed {
@@ -293,12 +331,160 @@ func (fs *DiskFS) Remove(name string, cred naming.Credentials) error {
 		if _, err := fs.dirRemove(dirIno, last); err != nil {
 			return err
 		}
-		if err := fs.freeInode(ino); err != nil {
+		freed, err := fs.dropLinkLocked(ino)
+		if freed {
+			freedIno = ino
+		}
+		return err
+	})
+}
+
+// dropLinkLocked drops one link from ino after its directory entry has been
+// removed in the current transaction. The inode is freed on its last link —
+// unless the file still has open handles, in which case it is orphaned
+// (link count zero, storage intact) so reads and writes through those
+// handles keep working; the last Release reclaims it, and Mount's orphan
+// sweep covers a crash in between. Caller holds fs.mu inside a transaction.
+//
+// freed reports whether the inode went back to the pool; the caller must
+// then purge its cached pages (purgeCachedPages) after releasing fs.mu, or
+// a reallocation of the inode number would resurrect the dead file's data.
+func (fs *DiskFS) dropLinkLocked(ino uint64) (freed bool, err error) {
+	ci, err := fs.readInode(ino)
+	if err != nil {
+		return false, err
+	}
+	if ci.in.nlink > 1 {
+		ci.in.nlink--
+		ci.dirty = true
+		fs.txnRegister(ci)
+		return false, nil
+	}
+	if f, ok := fs.files[ino]; ok && f.refs > 0 && ci.in.mode == ModeFile {
+		ci.in.nlink = 0
+		ci.dirty = true
+		fs.txnRegister(ci)
+		return false, nil
+	}
+	if err := fs.freeInode(ino); err != nil {
+		return false, err
+	}
+	delete(fs.files, ino)
+	delete(fs.dirs, ino)
+	return true, nil
+}
+
+// purgeExtent covers any possible file offset; DeleteRange bounds it to the
+// pages actually cached.
+const purgeExtent = vm.Offset(1) << 56
+
+// purgeCachedPages discards every page any cache manager holds for ino at
+// or past from. It must be called WITHOUT fs.mu held: the cache calls cross
+// domains and can contend with an in-flight page-out that is itself waiting
+// on fs.mu.
+//
+// Connections in fs.table are keyed by inode number and outlive the files
+// they were bound for, so when an inode is freed (unlink, rename-over,
+// last-close reclaim) its cached pages must be dropped here — otherwise a
+// later file allocated at the same inode number would read the dead file's
+// data out of the VMM. Truncation purges the vacated tail for the same
+// reason.
+func (fs *DiskFS) purgeCachedPages(ino uint64, from vm.Offset) {
+	for _, c := range fs.table.ConnectionsFor(ino) {
+		c.Cache.DeleteRange(from, purgeExtent-from)
+	}
+}
+
+// Rename implements fsys.FS: one journal transaction moves the source
+// entry to the destination name, dropping any replaced destination's link
+// exactly like Remove would — so the whole rename (including the implicit
+// unlink of the destination) is atomic across a crash.
+func (fs *DiskFS) Rename(oldname, newname string, cred naming.Credentials) error {
+	var freedIno uint64
+	defer func() {
+		if freedIno != 0 {
+			fs.purgeCachedPages(freedIno, 0)
+		}
+	}()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fsys.ErrClosed
+	}
+	oldParts, err := naming.SplitName(oldname)
+	if err != nil {
+		return err
+	}
+	newParts, err := naming.SplitName(newname)
+	if err != nil {
+		return err
+	}
+	if len(newParts) > len(oldParts) {
+		below := true
+		for i := range oldParts {
+			if newParts[i] != oldParts[i] {
+				below = false
+				break
+			}
+		}
+		if below {
+			return fmt.Errorf("disklayer: cannot move %q below itself", oldname)
+		}
+	}
+	return fs.withTxn(func() error {
+		odIno, oLast, err := fs.walkDir(oldname)
+		if err != nil {
 			return err
 		}
-		delete(fs.files, ino)
-		delete(fs.dirs, ino)
-		return nil
+		ino, err := fs.dirLookup(odIno, oLast)
+		if err != nil {
+			return err
+		}
+		srcCi, err := fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		ndIno, nLast, err := fs.walkDir(newname)
+		if err != nil {
+			return err
+		}
+		if dstIno, err := fs.dirLookup(ndIno, nLast); err == nil {
+			if dstIno == ino {
+				return nil // same file: POSIX leaves both names alone
+			}
+			dstCi, err := fs.readInode(dstIno)
+			if err != nil {
+				return err
+			}
+			switch {
+			case srcCi.in.mode != ModeDir && dstCi.in.mode == ModeDir:
+				return ErrIsDir
+			case srcCi.in.mode == ModeDir && dstCi.in.mode != ModeDir:
+				return ErrNotDir
+			case dstCi.in.mode == ModeDir:
+				entries, _, derr := fs.dirEntries(dstIno)
+				if derr != nil {
+					return derr
+				}
+				if len(entries) > 0 {
+					return ErrDirNotEmpty
+				}
+			}
+			if _, err := fs.dirRemove(ndIno, nLast); err != nil {
+				return err
+			}
+			freed, err := fs.dropLinkLocked(dstIno)
+			if err != nil {
+				return err
+			}
+			if freed {
+				freedIno = dstIno
+			}
+		}
+		if _, err := fs.dirRemove(odIno, oLast); err != nil {
+			return err
+		}
+		return fs.dirInsert(ndIno, nLast, ino)
 	})
 }
 
@@ -518,6 +704,12 @@ func (d *diskDir) Bind(name string, obj naming.Object, cred naming.Credentials) 
 // Unbind implements naming.Context: it removes the entry and frees the
 // inode when the last link goes away.
 func (d *diskDir) Unbind(name string, cred naming.Credentials) error {
+	var freedIno uint64
+	defer func() {
+		if freedIno != 0 {
+			d.fs.purgeCachedPages(freedIno, 0)
+		}
+	}()
 	d.fs.mu.Lock()
 	defer d.fs.mu.Unlock()
 	return d.fs.withTxn(func() error {
@@ -548,18 +740,11 @@ func (d *diskDir) Unbind(name string, cred naming.Credentials) error {
 		if _, err := d.fs.dirRemove(d.ino, parts[0]); err != nil {
 			return err
 		}
-		if ci.in.nlink > 1 {
-			ci.in.nlink--
-			ci.dirty = true
-			d.fs.txnRegister(ci)
-			return nil
+		freed, err := d.fs.dropLinkLocked(ino)
+		if freed {
+			freedIno = ino
 		}
-		if err := d.fs.freeInode(ino); err != nil {
-			return err
-		}
-		delete(d.fs.files, ino)
-		delete(d.fs.dirs, ino)
-		return nil
+		return err
 	})
 }
 

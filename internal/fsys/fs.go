@@ -62,6 +62,10 @@ type FS interface {
 	Open(name string, cred naming.Credentials) (File, error)
 	// Remove removes the file at name.
 	Remove(name string, cred naming.Credentials) error
+	// Rename atomically moves the file at oldname to newname (both relative
+	// to the file system's root context), replacing any existing file at
+	// newname. Renaming a name onto itself succeeds without effect.
+	Rename(oldname, newname string, cred naming.Credentials) error
 	// SyncFS flushes all modified state toward stable storage.
 	SyncFS() error
 }

@@ -1,0 +1,74 @@
+package fsys
+
+import "sync"
+
+// This file holds the two optional file capabilities that POSIX semantics
+// need from the stack: atomic appends (O_APPEND) and handle lifetimes
+// (unlink-while-open keeps the file's storage until the last close).
+//
+// Both are optional interfaces rather than additions to File: most layers
+// are transparent wrappers that only need to forward them toward the layer
+// that owns the storage, and plain memory objects never see either.
+
+// Appender is implemented by files that can perform an atomic append: the
+// offset is read and the range reserved under the same lock that orders
+// concurrent appends, so two appenders can never interleave or overwrite
+// each other's records.
+type Appender interface {
+	// Append writes p at the current end of file, returning the offset the
+	// write landed at and the byte count written.
+	Append(p []byte) (off int64, n int, err error)
+}
+
+// HandleFile is implemented by files that track open handles so storage
+// reclamation of an unlinked file can be deferred to the last Release.
+type HandleFile interface {
+	// Retain records one more open handle on the file.
+	Retain()
+	// Release drops one handle; the implementation reclaims an unlinked
+	// file's storage when the last handle goes away.
+	Release() error
+}
+
+// Retain records an open handle on f if it tracks handles, and is a no-op
+// otherwise.
+func Retain(f File) {
+	if h, ok := f.(HandleFile); ok {
+		h.Retain()
+	}
+}
+
+// Release drops an open handle recorded by Retain.
+func Release(f File) error {
+	if h, ok := f.(HandleFile); ok {
+		return h.Release()
+	}
+	return nil
+}
+
+// appendLocks serializes fallback appends per canonical file. Entries are
+// created on demand and live as long as the process; the population is
+// bounded by the number of distinct files appended to.
+var appendLocks sync.Map // CanonicalKey -> *sync.Mutex
+
+// Append appends p to f atomically with respect to other appenders of the
+// same file. Files implementing Appender order the append themselves (the
+// disk layer reserves the range under its own lock; a remote file ships the
+// append to the file's home node); for everything else the append is
+// serialized here under a per-canonical-file lock, which is correct for any
+// set of appenders sharing this process's wrapper objects.
+func Append(f File, p []byte) (int64, int, error) {
+	if a, ok := f.(Appender); ok {
+		return a.Append(p)
+	}
+	muAny, _ := appendLocks.LoadOrStore(CanonicalKey(f), &sync.Mutex{})
+	mu := muAny.(*sync.Mutex)
+	mu.Lock()
+	defer mu.Unlock()
+	l, err := f.GetLength()
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := f.WriteAt(p, l)
+	return l, n, err
+}

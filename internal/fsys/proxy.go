@@ -249,6 +249,31 @@ func (p *FileProxy) Sync() error {
 	return err
 }
 
+// Append implements Appender by running the append in the file's own
+// domain, where the implementation (or the per-file fallback lock) orders
+// it against every other appender of the same file.
+func (p *FileProxy) Append(b []byte) (int64, int, error) {
+	var (
+		off int64
+		n   int
+		err error
+	)
+	p.ch.Call(func() { off, n, err = Append(p.impl, b) })
+	return off, n, err
+}
+
+// Retain implements HandleFile.
+func (p *FileProxy) Retain() {
+	p.ch.Call(func() { Retain(p.impl) })
+}
+
+// Release implements HandleFile.
+func (p *FileProxy) Release() error {
+	var err error
+	p.ch.Call(func() { err = Release(p.impl) })
+	return err
+}
+
 // Unwrap returns the server-side file implementation. It is used by
 // same-node layers that need the concrete object (e.g. CFS interposing on
 // a remote file) and by tests.
@@ -327,6 +352,13 @@ func (p *StackableFSProxy) Open(name string, cred naming.Credentials) (File, err
 func (p *StackableFSProxy) Remove(name string, cred naming.Credentials) error {
 	var err error
 	p.ch.Call(func() { err = p.impl.Remove(name, cred) })
+	return err
+}
+
+// Rename implements FS.
+func (p *StackableFSProxy) Rename(oldname, newname string, cred naming.Credentials) error {
+	var err error
+	p.ch.Call(func() { err = p.impl.Rename(oldname, newname, cred) })
 	return err
 }
 

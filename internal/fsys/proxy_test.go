@@ -43,6 +43,20 @@ func (m *memFS) Remove(name string, cred naming.Credentials) error {
 	return m.ctx.Unbind(name, cred)
 }
 
+func (m *memFS) Rename(oldname, newname string, cred naming.Credentials) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	obj, err := m.ctx.Resolve(oldname, cred)
+	if err != nil {
+		return err
+	}
+	_ = m.ctx.Unbind(newname, cred)
+	if err := m.ctx.Bind(newname, obj, cred); err != nil {
+		return err
+	}
+	return m.ctx.Unbind(oldname, cred)
+}
+
 func (m *memFS) SyncFS() error { return nil }
 
 func (m *memFS) StackOn(under StackableFS) error { return ErrAlreadyStacked }

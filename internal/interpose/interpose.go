@@ -113,6 +113,20 @@ func (f *File) Sync() error {
 	return f.orig.Sync()
 }
 
+// Append implements fsys.Appender by forwarding to the original file, so a
+// watched file keeps atomic O_APPEND semantics (the write itself still goes
+// through the WriteAt machinery of the layer below the watchdog).
+func (f *File) Append(p []byte) (int64, int, error) {
+	defer f.observe("append")
+	return fsys.Append(f.orig, p)
+}
+
+// Retain implements fsys.HandleFile.
+func (f *File) Retain() { fsys.Retain(f.orig) }
+
+// Release implements fsys.HandleFile.
+func (f *File) Release() error { return fsys.Release(f.orig) }
+
 // Bind implements vm.MemoryObject.
 func (f *File) Bind(caller vm.CacheManager, access vm.Rights, offset, length vm.Offset) (vm.CacheRights, error) {
 	defer f.observe("bind")

@@ -213,6 +213,37 @@ func (m *MirrorFS) Remove(name string, cred naming.Credentials) error {
 	return err2
 }
 
+// Rename implements fsys.FS: renamed on both replicas (first error wins,
+// both attempted; a split outcome degrades until Resync reconciles it).
+// The path-keyed wrapper map is re-keyed, dropping any overwritten
+// destination's wrapper.
+func (m *MirrorFS) Rename(oldname, newname string, cred naming.Credentials) error {
+	r1, r2, err := m.both()
+	if err != nil {
+		return err
+	}
+	if oldname == newname {
+		_, err := m.Resolve(oldname, cred)
+		return err
+	}
+	err1 := r1.Rename(oldname, newname, cred)
+	err2 := r2.Rename(oldname, newname, cred)
+	if err1 == nil || err2 == nil {
+		m.mu.Lock()
+		delete(m.files, newname)
+		if f, ok := m.files[oldname]; ok {
+			delete(m.files, oldname)
+			f.rename(newname)
+			m.files[newname] = f
+		}
+		m.mu.Unlock()
+	}
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
 // SyncFS implements fsys.FS.
 func (m *MirrorFS) SyncFS() error {
 	r1, r2, err := m.both()
@@ -453,6 +484,20 @@ func (f *mirrorFile) setCopies(primary, mirror fsys.File) {
 	f.hmu.Unlock()
 }
 
+// rename records the file's new path after a Rename re-keyed the map.
+func (f *mirrorFile) rename(name string) {
+	f.hmu.Lock()
+	f.name = name
+	f.hmu.Unlock()
+}
+
+// pathName returns the file's current path (for diagnostics).
+func (f *mirrorFile) pathName() string {
+	f.hmu.Lock()
+	defer f.hmu.Unlock()
+	return f.name
+}
+
 var (
 	_ fsys.File             = (*mirrorFile)(nil)
 	_ naming.ProxyWrappable = (*mirrorFile)(nil)
@@ -476,7 +521,7 @@ func (f *mirrorFile) readFrom(op func(fsys.File) error) error {
 		f.fs.noteError(0, err)
 	}
 	if mirror == nil || !f.fs.replicaHealthy(1) {
-		return fmt.Errorf("mirrorfs: %s: both replicas unavailable (%w)", f.name, fsys.ErrUnavailable)
+		return fmt.Errorf("mirrorfs: %s: both replicas unavailable (%w)", f.pathName(), fsys.ErrUnavailable)
 	}
 	f.fs.Failovers.Inc()
 	err := op(mirror)
@@ -513,11 +558,37 @@ func (f *mirrorFile) writeBoth(op func(fsys.File) error) error {
 	case ok == 0 && firstErr != nil:
 		return firstErr
 	case ok == 0:
-		return fmt.Errorf("mirrorfs: %s: no healthy replica (%w)", f.name, fsys.ErrUnavailable)
+		return fmt.Errorf("mirrorfs: %s: no healthy replica (%w)", f.pathName(), fsys.ErrUnavailable)
 	case ok < 2:
 		f.fs.Degraded.Inc()
 	}
 	return nil
+}
+
+// Retain implements fsys.HandleFile: the handle is held on both replicas.
+func (f *mirrorFile) Retain() {
+	primary, mirror := f.copies()
+	if primary != nil {
+		fsys.Retain(primary)
+	}
+	if mirror != nil {
+		fsys.Retain(mirror)
+	}
+}
+
+// Release implements fsys.HandleFile.
+func (f *mirrorFile) Release() error {
+	primary, mirror := f.copies()
+	var err error
+	if primary != nil {
+		err = fsys.Release(primary)
+	}
+	if mirror != nil {
+		if e := fsys.Release(mirror); err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
 // ReadAt implements fsys.File.

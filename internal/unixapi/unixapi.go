@@ -85,6 +85,11 @@ type filedesc struct {
 	path   string
 	offset int64
 	flags  int
+
+	// refs counts descriptor-table entries sharing this record (Dup),
+	// guarded by the process mu. The file's open handle (fsys.Retain) is
+	// dropped when the last descriptor closes.
+	refs int
 }
 
 // NewProcess creates a process over fs with cred, rooted at the file
@@ -181,11 +186,14 @@ func (p *Process) Open(path string, flags int) (int, error) {
 			return -1, mapErr(err)
 		}
 	}
+	// Record the open handle with the stack: an unlinked-while-open file
+	// keeps its storage until the last descriptor on it closes.
+	fsys.Retain(file)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	fd := p.nextFD
 	p.nextFD++
-	p.fds[fd] = &filedesc{file: file, path: clean, flags: flags}
+	p.fds[fd] = &filedesc{file: file, path: clean, flags: flags, refs: 1}
 	return fd, nil
 }
 
@@ -205,14 +213,23 @@ func (p *Process) lookup(fd int) (*filedesc, error) {
 	return d, nil
 }
 
-// Close closes a descriptor.
+// Close closes a descriptor. When the last descriptor sharing the record
+// goes away the open handle is released, which lets the stack reclaim a
+// file that was unlinked while open.
 func (p *Process) Close(fd int) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.fds[fd]; !ok {
+	d, ok := p.fds[fd]
+	if !ok {
+		p.mu.Unlock()
 		return fmt.Errorf("%w: %d", EBADF, fd)
 	}
 	delete(p.fds, fd)
+	d.refs--
+	last := d.refs == 0
+	p.mu.Unlock()
+	if last {
+		return mapErr(fsys.Release(d.file))
+	}
 	return nil
 }
 
@@ -228,6 +245,7 @@ func (p *Process) Dup(fd int) (int, error) {
 	}
 	nfd := p.nextFD
 	p.nextFD++
+	d.refs++
 	p.fds[nfd] = d // shared record: shared offset, like dup(2)
 	return nfd, nil
 }
@@ -267,11 +285,15 @@ func (p *Process) Write(fd int, buf []byte) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.flags&O_APPEND != 0 {
-		l, err := d.file.GetLength()
-		if err != nil {
-			return 0, mapErr(err)
+		// A single atomic length-reserving write at the file: concurrent
+		// appenders — other goroutines, other processes, other machines —
+		// land on disjoint ranges instead of clobbering each other through
+		// a read-length-then-write race.
+		off, n, err := fsys.Append(d.file, buf)
+		if err == nil {
+			d.offset = off + int64(n)
 		}
-		d.offset = l
+		return n, mapErr(err)
 	}
 	n, err := d.file.WriteAt(buf, d.offset)
 	d.offset += int64(n)
@@ -415,6 +437,18 @@ func (p *Process) Unlink(path string) error {
 		return EISDIR
 	}
 	return mapErr(p.fs.Remove(clean, p.cred))
+}
+
+// Rename atomically renames oldpath to newpath, replacing an existing
+// newpath (rename(2)). Open descriptors on a replaced file keep working:
+// the stack defers its reclamation to their last close.
+func (p *Process) Rename(oldpath, newpath string) error {
+	oldClean := p.cleanPath(oldpath)
+	newClean := p.cleanPath(newpath)
+	if oldClean == "" || newClean == "" {
+		return EINVAL
+	}
+	return mapErr(p.fs.Rename(oldClean, newClean, p.cred))
 }
 
 // Chdir changes the working directory.

@@ -88,6 +88,10 @@ type (
 	DFSClient = dfs.Client
 	// RemoteFile is a DFS file viewed from a remote machine.
 	RemoteFile = dfs.RemoteFile
+	// DFSClientFS adapts a DFS client to the stackable_fs interface, so a
+	// remote export can be used wherever a local stack can (e.g. under a
+	// POSIX process view).
+	DFSClientFS = dfs.ClientFS
 	// CFS is the attribute-caching interposing file system.
 	CFS = cfs.CFS
 	// WatchdogHooks intercept individual file operations (Section 5).
@@ -397,6 +401,11 @@ func (n *Node) ServeDFS(name string, under StackableFS, l net.Listener) (*dfs.Se
 // DialDFS connects this node to a DFS server over conn.
 func (n *Node) DialDFS(conn net.Conn, name string) *dfs.Client {
 	return dfs.NewClient(conn, n.NewDomain(name), name)
+}
+
+// NewDFSClientFS wraps a DFS client as a stackable file system.
+func NewDFSClientFS(client *dfs.Client, name string) *DFSClientFS {
+	return dfs.NewClientFS(client, name)
 }
 
 // NewCFS starts the node's caching file system (interpose it on remote

@@ -14,6 +14,7 @@
 //	fsbench -parallel 16       # cached hot-path scaling up to 16 goroutines
 //	fsbench -metaops           # metadata txn throughput under group commit
 //	fsbench -stream            # streaming reads: read-ahead + extent layout
+//	fsbench -snap              # snapshot latency + clone cold-read overhead
 //	fsbench -soak 60s          # trace-driven soak over DFS: network faults,
 //	                           # power cuts, fsck + byte-identical verification
 //	                           # (-soak-clients, -soak-crashes, -soak-drop,
@@ -58,6 +59,7 @@ func main() {
 		parallN  = flag.Int("parallel", 0, "measure cached hot-path scaling at 1..N goroutines (e.g. -parallel 16)")
 		metaops  = flag.Bool("metaops", false, "measure metadata transaction throughput under group commit (1..16 goroutines)")
 		stream   = flag.Bool("stream", false, "measure streaming-read throughput (adaptive read-ahead + extent allocation) against raw device bandwidth")
+		snapF    = flag.Bool("snap", false, "measure snapshot latency across data sizes and clone cold-read overhead vs a plain stack")
 		iters    = flag.Int("iters", 5000, "iterations per cached row")
 		disk1993 = flag.Bool("disk1993", false, "use the full 1993 disk latency model (slow)")
 		withStat = flag.Bool("stats", false, "append per-layer latency breakdowns (histograms and a captured trace) to the table output")
@@ -73,7 +75,7 @@ func main() {
 		soakSeed    = flag.Int64("soak-seed", 1, "soak determinism seed")
 	)
 	flag.Parse()
-	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*metaops && !*stream && *soakDur == 0 && !*all {
+	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*metaops && !*stream && !*snapF && *soakDur == 0 && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -143,6 +145,11 @@ func main() {
 	if *stream || *all {
 		if err := runStream(latency, *iters); err != nil {
 			fail("stream", err)
+		}
+	}
+	if *snapF || *all {
+		if err := runSnap(latency); err != nil {
+			fail("snap", err)
 		}
 	}
 	if *soakDur > 0 {

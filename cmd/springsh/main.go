@@ -56,6 +56,7 @@ func execute(node *springfs.Node, line string) (quit bool) {
   stack <creator> <name> <under...>     create a layer and stack it (Section 4.4)
                                         creators: coherency_creator compfs_creator
                                         cryptfs_creator mirrorfs_creator dfs_creator
+                                        snapfs_creator
   creators                              list registered creators
   ls [path]                             list a context
   write <path> <text...>                create/overwrite a file
@@ -64,6 +65,11 @@ func execute(node *springfs.Node, line string) (quit bool) {
   mkdir <path>                          create a directory
   rm <path>                             remove a binding
   sync <fs-path>                        flush a file system
+  snapshot <fs-path> [name]             freeze the current state of a snapfs layer
+                                        (no name: list its snapshots and clones)
+  clone <fs-path> <snapshot> <name>     writable COW clone of a snapshot, bound at /<name>
+  snapdiff <fs-path> <a> <b>            paths differing between two epochs
+                                        (a, b: snapshot/clone names or "current")
   fsck <sfs-name> [-repair]             audit an SFS disk image (and repair it)
   watch <path> audit|readonly           interpose a watchdog on one file (Sec. 5)
   stats [reset]                         show (or zero) counters and latency histograms
@@ -345,6 +351,85 @@ func execute(node *springfs.Node, line string) (quit bool) {
 			return
 		}
 		fmt.Print(report)
+	case "snapshot":
+		if len(args) < 2 || len(args) > 3 {
+			fmt.Println("usage: snapshot <fs-path> [name]")
+			return
+		}
+		snap, err := resolveSnapFS(node, args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		if len(args) == 2 {
+			snaps, err := snap.Snapshots()
+			if err != nil {
+				fail(err)
+				return
+			}
+			clones, err := snap.Clones()
+			if err != nil {
+				fail(err)
+				return
+			}
+			for _, s := range snaps {
+				fmt.Printf("  snapshot  %s\n", s)
+			}
+			for _, c := range clones {
+				fmt.Printf("  clone     %s\n", c)
+			}
+			if len(snaps)+len(clones) == 0 {
+				fmt.Println("  (none)")
+			}
+			return
+		}
+		if err := snap.Snapshot(args[2]); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("snapshot %q frozen\n", args[2])
+	case "clone":
+		if len(args) != 4 {
+			fmt.Println("usage: clone <fs-path> <snapshot> <name>")
+			return
+		}
+		snap, err := resolveSnapFS(node, args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		view, err := snap.Clone(args[2], args[3])
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := node.Root().Bind(args[3], view, springfs.Root); err != nil {
+			fail(err)
+			return
+		}
+		fmt.Printf("clone %q of snapshot %q bound at /%s\n", args[3], args[2], args[3])
+	case "snapdiff":
+		if len(args) != 4 {
+			fmt.Println("usage: snapdiff <fs-path> <a> <b>")
+			return
+		}
+		snap, err := resolveSnapFS(node, args[1])
+		if err != nil {
+			fail(err)
+			return
+		}
+		entries, err := snap.Diff(args[2], args[3])
+		if err != nil {
+			fail(err)
+			return
+		}
+		if len(entries) == 0 {
+			fmt.Println("  (no differences)")
+			return
+		}
+		for _, e := range entries {
+			fmt.Printf("  %-12s %s\n", e.Status, e.Path)
+		}
 	case "sync":
 		if len(args) != 2 {
 			fmt.Println("usage: sync <fs-path>")
@@ -387,6 +472,30 @@ func splitPath(path string) (fsPath, rest string) {
 		return parts[0], strings.Join(parts[1:], "/")
 	}
 	return "", path
+}
+
+// snapshotter is the snapshot/clone surface of the snapfs layer; asserting
+// the interface (rather than the concrete type) keeps the verbs working on
+// whatever object the name space hands back.
+type snapshotter interface {
+	Snapshot(name string) error
+	Clone(snapName, cloneName string) (*springfs.SnapView, error)
+	Diff(a, b string) ([]springfs.SnapDiffEntry, error)
+	Snapshots() ([]string, error)
+	Clones() ([]string, error)
+}
+
+// resolveSnapFS resolves a path to a snapshot-capable file system.
+func resolveSnapFS(node *springfs.Node, path string) (snapshotter, error) {
+	obj, err := node.Root().Resolve(path, springfs.Root)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := obj.(snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%s is not a snapshot-capable file system (stack snapfs_creator on it)", path)
+	}
+	return s, nil
 }
 
 // resolveFS resolves a path to a stackable file system.

@@ -212,6 +212,58 @@ func TestFsckCommand(t *testing.T) {
 	}
 }
 
+func TestSnapshotCloneDiffCommands(t *testing.T) {
+	node := drive(t,
+		"newsfs sfs0a",
+		"stack snapfs_creator snap fs/sfs0a",
+		"write snap/base.txt shared content",
+		"snapshot snap s1",
+		"write snap/after.txt written after the freeze",
+		"clone snap s1 work",
+		"write work/diverged.txt clone-only content",
+		"snapshot snap",
+		"snapdiff snap s1 current",
+		"snapdiff snap s1 work",
+		"snapshot snap s1", // duplicate name: prints an error, must not quit
+		"clone snap nosuch bad",
+		"snapdiff snap nosuch current",
+	)
+	// The clone is live and bound: it sees the snapshot's file plus its own
+	// divergence, but not the post-snapshot write on the main line.
+	work := mustFS(t, node, "work")
+	if got, err := springfs.ReadFile(work, "base.txt"); err != nil || string(got) != "shared content" {
+		t.Errorf("clone read of shared file = %q, %v", got, err)
+	}
+	if got, err := springfs.ReadFile(work, "diverged.txt"); err != nil || string(got) != "clone-only content" {
+		t.Errorf("clone read of diverged file = %q, %v", got, err)
+	}
+	if _, err := springfs.ReadFile(work, "after.txt"); err == nil {
+		t.Error("clone sees a file written to the main line after the snapshot")
+	}
+	// And the main line still serves both of its files.
+	snap := mustFS(t, node, "snap")
+	if got, err := springfs.ReadFile(snap, "after.txt"); err != nil || string(got) != "written after the freeze" {
+		t.Errorf("main-line read = %q, %v", got, err)
+	}
+}
+
+func TestStatsShowSnapCounters(t *testing.T) {
+	// The snapfs counters are registered eagerly at package init, so
+	// `stats` lists them (at zero) even before any snapshot exists.
+	drive(t, "newsfs sfs0a", "stats")
+	out := stats.Default.String()
+	for _, name := range []string{
+		"snap.snapshots",
+		"snap.clones",
+		"snap.cow.blocks",
+		"snap.manifest.commits",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("stats output missing %s:\n%s", name, out)
+		}
+	}
+}
+
 func TestStatsShowDFSFailureCounters(t *testing.T) {
 	// The failure counters are registered eagerly, so `stats` lists them
 	// (at zero) even before any timeout or retry has happened.

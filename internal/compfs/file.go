@@ -177,28 +177,52 @@ func (c *compCacheObject) DestroyCache() { c.invalidate() }
 // writes to the underlying file revoke (and thereby notify) COMPFS. In
 // non-coherent mode — Figure 5 — the plain file interface is used and no
 // notification ever arrives.
-func (f *compFile) readLower(p []byte, off int64) error {
+// It returns how many bytes the lower layer actually provided: a short
+// count means the extent runs past the lower file's end (truncation or a
+// sparse tail), and callers must not treat the missing bytes as data.
+func (f *compFile) readLower(p []byte, off int64) (int, error) {
 	t := opPageIn.Start()
 	pager, _ := f.lowerPager.Load().(vm.PagerObject)
 	if f.fs.mode != ModeCoherent || pager == nil {
-		_, err := f.lower.ReadAt(p, off)
+		n, err := f.lower.ReadAt(p, off)
 		if err == io.EOF {
 			err = nil
 		}
 		if err == nil {
-			opPageIn.End(t, int64(len(p)))
+			opPageIn.End(t, int64(n))
 		}
-		return err
+		return n, err
+	}
+	// PageIn is page-granular and never returns short: pages straddling
+	// the lower file's end come back zero-filled or — after a shrink —
+	// may still carry a stale cached tail. Clamp to the lower length so
+	// bytes past EOF are reported as not provided, like ReadAt would.
+	length, err := f.lower.GetLength()
+	if err != nil {
+		return 0, err
+	}
+	if off >= length {
+		return 0, nil
+	}
+	want := int64(len(p))
+	if off+want > length {
+		want = length - off
 	}
 	start := off / BlockSize * BlockSize
-	end := (off + int64(len(p)) + BlockSize - 1) / BlockSize * BlockSize
+	end := (off + want + BlockSize - 1) / BlockSize * BlockSize
 	data, err := pager.PageIn(start, end-start, vm.RightsRead)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	opPageIn.End(t, end-start)
-	copy(p, data[off-start:])
-	return nil
+	if off-start >= int64(len(data)) {
+		return 0, nil
+	}
+	avail := data[off-start:]
+	if int64(len(avail)) > want {
+		avail = avail[:want]
+	}
+	return copy(p, avail), nil
 }
 
 // loadTableLocked reads the header and block table from the lower file.
@@ -222,8 +246,10 @@ func (f *compFile) loadTableLocked() error {
 		return nil
 	}
 	hdr := make([]byte, 64)
-	if err := f.readLower(hdr, 0); err != nil {
+	if n, err := f.readLower(hdr, 0); err != nil {
 		return err
+	} else if n < len(hdr) {
+		return ErrBadFormat
 	}
 	be := binary.BigEndian
 	if be.Uint64(hdr[0:]) != Magic {
@@ -236,8 +262,10 @@ func (f *compFile) loadTableLocked() error {
 	tbl.nextFree = int64(be.Uint64(hdr[36:]))
 	if tableLen > 0 {
 		raw := make([]byte, tableLen)
-		if err := f.readLower(raw, tableOff); err != nil {
+		if n, err := f.readLower(raw, tableOff); err != nil {
 			return err
+		} else if int64(n) < tableLen {
+			return ErrBadFormat
 		}
 		blocks, err := decodeBlockTable(raw)
 		if err != nil {
@@ -282,10 +310,38 @@ func (f *compFile) readBlockLocked(bn int64) ([]byte, error) {
 		return make([]byte, BlockSize), nil // hole
 	}
 	raw := make([]byte, e.clen)
-	if err := f.readLower(raw, e.off); err != nil {
+	n, err := f.readLower(raw, e.off)
+	if err != nil {
 		return nil, err
 	}
-	return decompressBlock(raw)
+	// Only decompress the bytes the lower layer actually returned. An
+	// extent whose backing is all zeros (a lower-layer hole, or a short
+	// read past a truncated tail) decodes to a hole of zeros, eCryptfs
+	// style — compressBlock never raw-stores an all-zero block (zeros
+	// compress), so real data is never misread as a hole. A raw-stored
+	// block cut short keeps its implicit zero tail; a truncated flate
+	// stream fails loudly in decompressBlock instead of inflating the
+	// stale tail of the buffer as if it were data.
+	if allZero(raw[:n]) {
+		return make([]byte, BlockSize), nil
+	}
+	if n == len(raw) {
+		return decompressBlock(raw)
+	}
+	if int64(e.clen) == BlockSize {
+		return raw, nil // raw-stored: missing tail reads as zeros
+	}
+	return decompressBlock(raw[:n])
+}
+
+// allZero reports whether b contains no nonzero byte.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // writeBlockLocked compresses and appends block bn (write-through).

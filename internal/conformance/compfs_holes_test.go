@@ -1,0 +1,155 @@
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"springfs"
+	"springfs/internal/compfs"
+	"springfs/internal/naming"
+)
+
+// Regression: compFile.ReadAt must only decompress the bytes the lower
+// layer actually returned. When the compressed image is truncated or
+// sparse underneath a table extent (the symmetric family of the cryptfs
+// hole bug), reads through COMPFS must come back as hole zeros or fail
+// loudly — never inflate the stale tail of the read buffer as if the
+// lower layer had provided it.
+func TestCompfsShortLowerReadIsNotData(t *testing.T) {
+	node := springfs.NewNode("conf-comp-hole")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := node.NewCompFS("compfs", true)
+	if err := comp.StackOn(sfs.FS()); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := comp.Create("victim", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0: incompressible (raw-stored full-size extent). Block 1:
+	// compressible (flate extent). Persist the table.
+	raw := make([]byte, compfs.BlockSize)
+	rand.New(rand.NewSource(7)).Read(raw)
+	if _, err := f.WriteAt(raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	zip := bytes.Repeat([]byte("squeeze me "), compfs.BlockSize/11+1)[:compfs.BlockSize]
+	if _, err := f.WriteAt(zip, compfs.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite both blocks WITHOUT syncing: the fresh extents sit past the
+	// just-written table, and the updated block table exists only in
+	// COMPFS memory. Then truncate the lower image back to where the new
+	// extents began — the in-memory table now points entirely past the
+	// lower file's end, the "short read at EOF" shape.
+	lower, err := sfs.FS().Open("victim", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := lower.GetLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2 := make([]byte, compfs.BlockSize)
+	rand.New(rand.NewSource(8)).Read(raw2)
+	if _, err := f.WriteAt(raw2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(zip, compfs.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := lower.SetLength(cut); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both extents now read back empty from the lower layer. COMPFS must
+	// treat that as a hole of zeros — not decompress the uninitialized
+	// buffer, not panic, not return the pre-truncation data as current.
+	got := make([]byte, 2*compfs.BlockSize)
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatalf("read over truncated lower image: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, len(got))) {
+		t.Errorf("holed extents read back nonzero data")
+	}
+}
+
+// Regression companion: a block whose extent is cut *partway* (a sparse
+// tail under a raw-stored extent) must yield the provided prefix plus
+// zeros, and a partially-provided flate extent must fail loudly rather
+// than decode garbage.
+func TestCompfsPartialLowerExtent(t *testing.T) {
+	node := springfs.NewNode("conf-comp-part")
+	defer node.Stop()
+	sfs, err := node.NewSFS("sfs", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := node.NewCompFS("compfs", true)
+	if err := comp.StackOn(sfs.FS()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := comp.Create("victim", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]byte, compfs.BlockSize)
+	rand.New(rand.NewSource(9)).Read(seed)
+	if _, err := f.WriteAt(seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	lower, err := sfs.FS().Open("victim", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := lower.GetLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2 := make([]byte, compfs.BlockSize)
+	rand.New(rand.NewSource(10)).Read(raw2)
+	if _, err := f.WriteAt(raw2, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Leave half of the rewritten raw-stored extent (it starts at the old
+	// end of the image, page-rounded by the write path).
+	if err := lower.SetLength(cut + compfs.BlockSize/2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, compfs.BlockSize)
+	n, err := f.ReadAt(got, 0)
+	if err != nil && !errors.Is(err, io.EOF) {
+		t.Fatalf("read over partial extent: %v", err)
+	}
+	if n != compfs.BlockSize {
+		t.Fatalf("short read: %d", n)
+	}
+	// The provided prefix must be the real data and the missing tail must
+	// be zeros — the one thing that must never appear is the old buffer
+	// tail passed off as data.
+	half := compfs.BlockSize / 2
+	wantPrefix := raw2[:half]
+	if !bytes.Equal(got[:half], wantPrefix) {
+		// The extent may not start exactly at cut (header/rounding); in
+		// that case just require the invariant below.
+		t.Logf("prefix differs; extent start not at cut (acceptable)")
+	}
+	if !bytes.Equal(got[half:], make([]byte, compfs.BlockSize-half)) && !bytes.Equal(got, raw2) {
+		t.Errorf("partial extent read returned bytes the lower layer never provided")
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 // StackNames lists the shapes BuildStack knows, in the order the suite
 // normally runs them.
-var StackNames = []string{"disk", "sfs-compfs", "sfs-cryptfs", "mirror", "dfs-remote"}
+var StackNames = []string{"disk", "sfs-compfs", "sfs-cryptfs", "mirror", "dfs-remote", "sfs-snapfs", "sfs-snapfs-clone"}
 
 // BuildStack assembles one named stack shape on fresh simulated hardware.
 func BuildStack(name string) (*Stack, error) {
@@ -28,6 +28,10 @@ func BuildStack(name string) (*Stack, error) {
 		return newMirrorStack()
 	case "dfs-remote":
 		return newDFSStack()
+	case "sfs-snapfs":
+		return newSnapStack()
+	case "sfs-snapfs-clone":
+		return newSnapCloneStack()
 	}
 	return nil, fmt.Errorf("conformance: unknown stack shape %q", name)
 }
@@ -130,6 +134,57 @@ func newMirrorStack() (*Stack, error) {
 	return &Stack{
 		Name:       "mirror",
 		NewProcess: sharedProcs(mirror),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newSnapStack: the COW snapshot layer (main line) on SFS.
+func newSnapStack() (*Stack, error) {
+	node := springfs.NewNode("conf-snap")
+	sfs, err := node.NewSFS("sfs", springfs.DiskOptions{Blocks: 16384})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	snap := node.NewSnapFS("snapfs")
+	if err := snap.StackOn(sfs.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Stack{
+		Name:       "sfs-snapfs",
+		NewProcess: sharedProcs(snap),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newSnapCloneStack: processes run on a writable clone of a snapshot, so
+// every check exercises the COW divergence path (reads fall through to the
+// sealed parent epoch; first writes remap).
+func newSnapCloneStack() (*Stack, error) {
+	node := springfs.NewNode("conf-snap-clone")
+	sfs, err := node.NewSFS("sfs", springfs.DiskOptions{Blocks: 16384})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	snap := node.NewSnapFS("snapfs")
+	if err := snap.StackOn(sfs.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := snap.Snapshot("base"); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	clone, err := snap.Clone("base", "work")
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Stack{
+		Name:       "sfs-snapfs-clone",
+		NewProcess: sharedProcs(clone),
 		Close:      node.Stop,
 	}, nil
 }

@@ -3,6 +3,7 @@ package disklayer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"springfs/internal/blockdev"
@@ -26,6 +27,14 @@ type diskFile struct {
 	// A file unlinked while refs > 0 is orphaned rather than freed; the
 	// last Release reclaims it.
 	refs int
+
+	// truncGen counts shrinks (truncate paths and the final orphan
+	// reclaim). Pagers compare it against the generation their read-ahead
+	// window was built under: a stream detected before a shrink describes
+	// byte ranges that may no longer exist, and chasing it would issue
+	// dead page-ins past the new EOF and misattribute the speculation to
+	// the hit/wasted counters.
+	truncGen atomic.Uint64
 }
 
 var (
@@ -81,6 +90,7 @@ func (f *diskFile) SetLength(length vm.Offset) error {
 	}
 	if length < ci.in.length {
 		shrunk = true
+		f.truncGen.Add(1)
 		return f.fs.withTxn(func() error {
 			return f.fs.truncateLocked(ci, length)
 		})
@@ -197,6 +207,9 @@ func (f *diskFile) Release() error {
 	})
 	delete(f.fs.files, f.ino)
 	freed = err == nil
+	if freed {
+		f.truncGen.Add(1)
+	}
 	return err
 }
 
@@ -274,6 +287,7 @@ type diskPager struct {
 	file *diskFile
 
 	raMu      sync.Mutex
+	raGen     uint64    // file truncGen the window was built against
 	raNext    vm.Offset // where the stream's next fault lands if sequential
 	raWindow  int       // current speculative pages per fault
 	raPending int       // speculative pages granted but not yet accounted
@@ -360,6 +374,25 @@ func (p *diskPager) PageInHint(offset, minSize, maxSize vm.Offset, access vm.Rig
 func (p *diskPager) streamWindow(offset, minSize, maxSize, end vm.Offset) vm.Offset {
 	p.raMu.Lock()
 	defer p.raMu.Unlock()
+	if gen := p.file.truncGen.Load(); gen != p.raGen {
+		// The file shrank since this window was built. The recorded stream
+		// position and any speculation in flight describe ranges that may
+		// no longer exist; forget them without touching the hit/wasted
+		// counters — pages prefetched before a truncate are neither.
+		p.raGen = gen
+		p.raNext = -1
+		p.raWindow = 0
+		p.raPending = 0
+	}
+	if offset >= end {
+		// Fault at or past EOF (a shrink raced the fault): serve the
+		// minimum and speculate nothing — never issue page-ins for blocks
+		// beyond the inode's current length.
+		p.raNext = -1
+		p.raWindow = 0
+		p.raPending = 0
+		return minSize
+	}
 	if offset == p.raNext {
 		// The fault landed exactly where the last grant ended: the stream
 		// is sequential and any speculative pages were consumed. Widen.
@@ -535,6 +568,7 @@ func (p *diskPager) SetAttributes(attrs fsys.Attributes) error {
 			return err
 		}
 		shrunk = true
+		p.file.truncGen.Add(1)
 	} else {
 		ci.in.length = attrs.Length
 	}

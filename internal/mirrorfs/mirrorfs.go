@@ -34,6 +34,7 @@ type MirrorFS struct {
 	replicas    []fsys.StackableFS // exactly 2 once stacked
 	healthy     [2]bool            // replica i is in the fan-out
 	files       map[string]*mirrorFile
+	orphans     map[*mirrorFile]bool // unlinked while retained (nlink 0, storage live)
 	nextBacking atomic.Uint64
 
 	// Failovers counts reads served by the mirror after a primary
@@ -52,10 +53,11 @@ var (
 // New creates a mirroring layer served by domain.
 func New(domain *spring.Domain, name string) *MirrorFS {
 	return &MirrorFS{
-		name:   name,
-		domain: domain,
-		table:  fsys.NewConnectionTable(domain),
-		files:  make(map[string]*mirrorFile),
+		name:    name,
+		domain:  domain,
+		table:   fsys.NewConnectionTable(domain),
+		files:   make(map[string]*mirrorFile),
+		orphans: make(map[*mirrorFile]bool),
 	}
 }
 
@@ -205,8 +207,18 @@ func (m *MirrorFS) Remove(name string, cred naming.Credentials) error {
 	err1 := r1.Remove(name, cred)
 	err2 := r2.Remove(name, cred)
 	m.mu.Lock()
+	f := m.files[name]
 	delete(m.files, name)
 	m.mu.Unlock()
+	// A file unlinked while retained handles are outstanding keeps its
+	// storage (nlink 0) on each replica. Track the wrapper so Resync can
+	// reconstruct the orphan on a rebuilt replica — the name-based tree
+	// copy cannot see it.
+	if f != nil && (err1 == nil || err2 == nil) && f.retainCount() > 0 {
+		m.mu.Lock()
+		m.orphans[f] = true
+		m.mu.Unlock()
+	}
 	if err1 != nil {
 		return err1
 	}
@@ -230,6 +242,11 @@ func (m *MirrorFS) Rename(oldname, newname string, cred naming.Credentials) erro
 	err2 := r2.Rename(oldname, newname, cred)
 	if err1 == nil || err2 == nil {
 		m.mu.Lock()
+		if dest, ok := m.files[newname]; ok && dest.retainCount() > 0 {
+			// Rename-over an open destination: same orphan shape as
+			// Remove (see above).
+			m.orphans[dest] = true
+		}
 		delete(m.files, newname)
 		if f, ok := m.files[oldname]; ok {
 			delete(m.files, oldname)
@@ -360,6 +377,27 @@ func (m *MirrorFS) Resync(cred naming.Credentials) error {
 	if err := copyTree(src, dst, "", cred); err != nil {
 		return fmt.Errorf("mirrorfs: resync: %w", err)
 	}
+	// A true mirror also drops what the survivor no longer has: entries
+	// removed while the replica was out would otherwise resurrect.
+	if err := pruneTree(src, dst, "", cred); err != nil {
+		return fmt.Errorf("mirrorfs: resync: prune: %w", err)
+	}
+	// Unlink-while-open orphans are invisible to the name-based copy:
+	// their storage lives only behind retained handles. Rebuild each one
+	// on the healed replica (or fail the resync loudly — rejoining the
+	// fan-out without them would split-brain the retained handles).
+	m.mu.Lock()
+	orphans := make([]*mirrorFile, 0, len(m.orphans))
+	for f := range m.orphans {
+		orphans = append(orphans, f)
+	}
+	m.mu.Unlock()
+	srcIdx := 1 - healed
+	for _, f := range orphans {
+		if err := f.reconcileOrphan(srcIdx, dst, healed, cred); err != nil {
+			return fmt.Errorf("mirrorfs: resync: retained orphan %s: %w", f.pathName(), err)
+		}
+	}
 	m.mu.Lock()
 	m.healthy[healed] = true
 	files := make(map[string]*mirrorFile, len(m.files))
@@ -381,6 +419,128 @@ func (m *MirrorFS) Resync(cred naming.Credentials) error {
 		f.setCopies(p, q)
 	}
 	m.Resyncs.Inc()
+	return nil
+}
+
+// reconcileOrphan rebuilds an unlinked-but-retained file on the healed
+// replica: the content is copied from the surviving handle into a hidden
+// temporary name, the new handle is retained once per outstanding upper
+// retain, and the temporary name is removed again — leaving the healed
+// replica with the same nlink-0, storage-live orphan the survivor holds.
+func (f *mirrorFile) reconcileOrphan(srcIdx int, dst fsys.StackableFS, dstIdx int, cred naming.Credentials) error {
+	f.hmu.Lock()
+	handles := [2]fsys.File{f.primary, f.mirror}
+	f.hmu.Unlock()
+	srcF := handles[srcIdx]
+	if srcF == nil {
+		return fmt.Errorf("no surviving replica handle (%w)", fsys.ErrUnavailable)
+	}
+	attrs, err := srcF.Stat()
+	if err != nil {
+		return fmt.Errorf("reading survivor: %w", err)
+	}
+	buf := make([]byte, attrs.Length)
+	if attrs.Length > 0 {
+		if _, err := srcF.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("reading survivor: %w", err)
+		}
+	}
+	tmp := fmt.Sprintf(".mirror-orphan-%d", f.backing)
+	out, err := dst.Create(tmp, cred)
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 {
+		if _, err := out.WriteAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := out.SetLength(attrs.Length); err != nil {
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		return err
+	}
+	for i := int64(0); i < f.retainCount(); i++ {
+		fsys.Retain(out)
+	}
+	if err := dst.Remove(tmp, cred); err != nil {
+		return fmt.Errorf("unlinking rebuilt orphan: %w", err)
+	}
+	f.hmu.Lock()
+	if dstIdx == 0 {
+		f.primary = out
+	} else {
+		f.mirror = out
+	}
+	f.hmu.Unlock()
+	return nil
+}
+
+// pruneTree removes entries under prefix that dst has but src does not
+// (files and directories deleted while the replica was out).
+func pruneTree(src, dst fsys.StackableFS, prefix string, cred naming.Credentials) error {
+	var ctx naming.Context = dst
+	if prefix != "" {
+		obj, err := dst.Resolve(prefix, cred)
+		if err != nil {
+			return nil
+		}
+		c, ok := obj.(naming.Context)
+		if !ok {
+			return nil
+		}
+		ctx = c
+	}
+	bindings, err := ctx.List(cred)
+	if err != nil {
+		return err
+	}
+	for _, b := range bindings {
+		path := b.Name
+		if prefix != "" {
+			path = prefix + "/" + b.Name
+		}
+		_, serr := src.Resolve(path, cred)
+		if _, isCtx := b.Object.(naming.Context); isCtx {
+			if serr != nil {
+				if err := removeTree(dst, path, cred); err != nil {
+					return err
+				}
+			} else if err := pruneTree(src, dst, path, cred); err != nil {
+				return err
+			}
+			continue
+		}
+		if serr != nil {
+			if err := dst.Remove(path, cred); err != nil {
+				return fmt.Errorf("prune %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}
+
+// removeTree removes path and everything beneath it from dst.
+func removeTree(dst fsys.StackableFS, path string, cred naming.Credentials) error {
+	obj, err := dst.Resolve(path, cred)
+	if err != nil {
+		return nil
+	}
+	if ctx, ok := obj.(naming.Context); ok {
+		bindings, err := ctx.List(cred)
+		if err != nil {
+			return err
+		}
+		for _, b := range bindings {
+			if err := removeTree(dst, path+"/"+b.Name, cred); err != nil {
+				return err
+			}
+		}
+	}
+	if err := dst.Remove(path, cred); err != nil {
+		return fmt.Errorf("prune %s: %w", path, err)
+	}
 	return nil
 }
 
@@ -462,12 +622,19 @@ type mirrorFile struct {
 	name    string
 	backing uint64
 
+	// retained counts outstanding Retains (open handles holding the
+	// file's storage past unlink).
+	retained atomic.Int64
+
 	// hmu guards the replica handles, which Resync refreshes after
 	// rebuilding a healed replica.
 	hmu     sync.Mutex
 	primary fsys.File // may be nil if the primary copy is missing
 	mirror  fsys.File // may be nil if the mirror copy is missing
 }
+
+// retainCount reports the outstanding Retain balance.
+func (f *mirrorFile) retainCount() int64 { return f.retained.Load() }
 
 // copies snapshots the replica handles.
 func (f *mirrorFile) copies() (primary, mirror fsys.File) {
@@ -567,6 +734,7 @@ func (f *mirrorFile) writeBoth(op func(fsys.File) error) error {
 
 // Retain implements fsys.HandleFile: the handle is held on both replicas.
 func (f *mirrorFile) Retain() {
+	f.retained.Add(1)
 	primary, mirror := f.copies()
 	if primary != nil {
 		fsys.Retain(primary)
@@ -578,6 +746,11 @@ func (f *mirrorFile) Retain() {
 
 // Release implements fsys.HandleFile.
 func (f *mirrorFile) Release() error {
+	if f.retained.Add(-1) <= 0 {
+		f.fs.mu.Lock()
+		delete(f.fs.orphans, f)
+		f.fs.mu.Unlock()
+	}
 	primary, mirror := f.copies()
 	var err error
 	if primary != nil {

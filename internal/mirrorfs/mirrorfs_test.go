@@ -359,6 +359,12 @@ func (f *flakyFile) SetLength(l vm.Offset) error {
 	return f.File.SetLength(l)
 }
 
+// Retain/Release forward to the wrapped file so unlink-while-open holds
+// storage through the flaky wrapper, like a real DFS proxy does.
+func (f *flakyFile) Retain() { fsys.Retain(f.File) }
+
+func (f *flakyFile) Release() error { return fsys.Release(f.File) }
+
 // TestReplicaDegradationAndResync exercises the mirror health state
 // machine: a replica whose calls fail at the transport level is dropped
 // from the fan-out (writes keep succeeding, degraded), and Resync copies
@@ -437,4 +443,116 @@ func TestReplicaDegradationAndResync(t *testing.T) {
 	if string(got) != "mirrored-again" {
 		t.Errorf("replica after resync write = %q, want %q", got, "mirrored-again")
 	}
+}
+
+// TestResyncReconcilesRetainedOrphans is the regression for the
+// unlink-while-open split-brain: a file removed while a retained handle is
+// outstanding keeps its storage (nlink 0), but the name-based resync copy
+// cannot see it. After a replica drop, unlink, heal, and resync, reads and
+// writes through the retained handle must keep working even when the
+// survivor subsequently drops out of the fan-out.
+func TestResyncReconcilesRetainedOrphans(t *testing.T) {
+	node := spring.NewNode("n-orph")
+	t.Cleanup(node.Stop)
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	sfs1, _ := newSFS(t, node, vmm, "o1")
+	sfs2, _ := newSFS(t, node, vmm, "o2")
+	flaky := &flakyFS{StackableFS: sfs2}
+	m := New(spring.NewDomain(node, "mirror"), "mirror")
+	if err := m.StackOn(sfs1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StackOn(flaky); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := m.Create("doomed", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("orphan payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Retain(f) // an open descriptor holds the file
+
+	// The mirror drops out, and the file is unlinked while still open:
+	// the primary keeps nlink-0 storage behind the handle, the mirror
+	// never sees the removal.
+	flaky.down.Store(true)
+	m.MarkUnhealthy(1)
+	if err := m.Remove("doomed", naming.Root); err != nil {
+		t.Fatalf("remove while degraded: %v", err)
+	}
+
+	// Heal and resync. The tree copy has no name for the orphan; the
+	// reconciliation path must rebuild it on the healed replica.
+	flaky.down.Store(false)
+	if err := m.Resync(naming.Root); err != nil {
+		t.Fatalf("resync with retained orphan: %v", err)
+	}
+	// The stale mirror-side name must not resurrect the file.
+	if _, err := m.Resolve("doomed", naming.Root); err == nil {
+		t.Error("unlinked file resolvable after resync (resurrected from stale replica)")
+	}
+
+	// Now lose the PRIMARY: the retained handle must be served entirely
+	// by the rebuilt orphan on the healed replica.
+	m.MarkUnhealthy(0)
+	got := make([]byte, 14)
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("read through retained handle after failover: %v", err)
+	}
+	if string(got) != "orphan payload" {
+		t.Errorf("retained handle read %q, want %q (split-brain)", got, "orphan payload")
+	}
+	if _, err := f.WriteAt([]byte("STILL"), 0); err != nil {
+		t.Fatalf("write through retained handle after failover: %v", err)
+	}
+	if err := fsys.Release(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResyncFailsLoudlyWithoutSurvivorHandle: when a retained orphan has no
+// usable handle on the surviving replica, resync must fail rather than
+// silently rejoin a replica that cannot serve the retained handles.
+func TestResyncFailsLoudlyWithoutSurvivorHandle(t *testing.T) {
+	node := spring.NewNode("n-orph2")
+	t.Cleanup(node.Stop)
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	sfs1, _ := newSFS(t, node, vmm, "p1")
+	sfs2, _ := newSFS(t, node, vmm, "p2")
+	flaky := &flakyFS{StackableFS: sfs2}
+	m := New(spring.NewDomain(node, "mirror"), "mirror")
+	if err := m.StackOn(sfs1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StackOn(flaky); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := m.Create("ghost", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys.Retain(f)
+	if err := m.Remove("ghost", naming.Root); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	// Simulate the survivor's handle being gone (e.g. the orphan was
+	// created during an earlier outage and never existed on the primary).
+	mf := f.(*mirrorFile)
+	_, q := mf.copies()
+	mf.setCopies(nil, q)
+	m.MarkUnhealthy(1)
+	if err := m.Resync(naming.Root); err == nil {
+		t.Error("resync succeeded with an unreconstructible retained orphan")
+	}
+	if p, hm := m.Health(); !p || hm {
+		t.Errorf("health after failed resync = (%v, %v), want (true, false)", p, hm)
+	}
+	_ = fsys.Release(f)
 }

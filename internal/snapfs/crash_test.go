@@ -1,0 +1,313 @@
+package snapfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/coherency"
+	"springfs/internal/disklayer"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// The snapshot crash sweep: run a workload that takes snapshots, clones
+// one, and diverges both the clone and the main line, cutting the power at
+// every buffered-write index. After each cut the image must fsck clean,
+// the stack must remount, the manifest must load (old or new — never
+// corrupt), the snapshot set must be a monotone prefix of the ones taken,
+// and every sealed snapshot still present must serve its frozen contents
+// byte-identical.
+
+// snapCrashExpect is the durably-acknowledged state the recovery must
+// preserve: contents per view that a completed sync/commit promised.
+type snapCrashExpect struct {
+	main   map[string][]byte            // main-line path -> content
+	snaps  map[string]map[string][]byte // snapshot name -> path -> content
+	clones map[string]map[string][]byte // clone name -> path -> content
+}
+
+// snapCrashStack mounts the disk+coherency+snapfs stack over dev.
+func snapCrashStack(t *testing.T, dev blockdev.Device, tag string) *SnapFS {
+	t.Helper()
+	node := spring.NewNode("snapcrash-" + tag)
+	t.Cleanup(node.Stop)
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	disk, err := disklayer.Mount(dev, spring.NewDomain(node, "disk"), vmm, "disk")
+	if err != nil {
+		t.Fatalf("%s: mount: %v", tag, err)
+	}
+	coh := coherency.New(spring.NewDomain(node, "coh"), vmm, "sfs")
+	if err := coh.StackOn(disk); err != nil {
+		t.Fatal(err)
+	}
+	snap := New(spring.NewDomain(node, "snap"), "snap")
+	if err := snap.StackOn(coh); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// pattern produces deterministic content distinct per (tag, size).
+func pattern(tag string, size int) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(int(tag[i%len(tag)]) + i/len(tag))
+	}
+	return out
+}
+
+// snapCrashWorkload drives the scripted snapshot workload. The returned
+// expectations only include state whose durability was acknowledged
+// (Snapshot/Clone returned, or a SyncFS checkpoint completed) before the
+// first error — expected to be the power cut.
+func snapCrashWorkload(s *SnapFS) (*snapCrashExpect, error) {
+	exp := &snapCrashExpect{
+		main:   map[string][]byte{},
+		snaps:  map[string]map[string][]byte{},
+		clones: map[string]map[string][]byte{},
+	}
+	cur := map[string][]byte{}
+
+	put := func(path string, size int) error {
+		f, err := s.Create(path, naming.Root)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		data := pattern(path, size)
+		if _, err := f.WriteAt(data, 0); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("sync %s: %w", path, err)
+		}
+		cur[path] = data
+		return nil
+	}
+	checkpoint := func() error {
+		if err := s.SyncFS(); err != nil {
+			return fmt.Errorf("syncfs: %w", err)
+		}
+		for p, d := range cur {
+			exp.main[p] = d
+		}
+		return nil
+	}
+	snapCur := func() map[string][]byte {
+		out := make(map[string][]byte, len(cur))
+		for p, d := range cur {
+			out[p] = d
+		}
+		return out
+	}
+
+	err := func() error {
+		// Phase 1: baseline files, durable via checkpoint.
+		if err := put("doc", 3*BlockSize+100); err != nil {
+			return err
+		}
+		if err := put("aux", 500); err != nil {
+			return err
+		}
+		if err := checkpoint(); err != nil {
+			return err
+		}
+		// Phase 2: seal s1. Once Snapshot returns, the sealed contents
+		// must survive every later crash.
+		if err := s.Snapshot("s1"); err != nil {
+			return err
+		}
+		exp.snaps["s1"] = snapCur()
+		// Phase 3: clone s1 and diverge the clone (content expectation
+		// is only recorded once the divergence is checkpointed).
+		clone, err := s.Clone("s1", "c1")
+		if err != nil {
+			return err
+		}
+		exp.clones["c1"] = map[string][]byte{}
+		cf, err := clone.Open("doc", naming.Root)
+		if err != nil {
+			return fmt.Errorf("open clone doc: %w", err)
+		}
+		cloneDoc := append([]byte{}, cur["doc"]...)
+		copy(cloneDoc, pattern("clone-diverge", BlockSize))
+		if _, err := cf.WriteAt(cloneDoc[:BlockSize], 0); err != nil {
+			return fmt.Errorf("diverge clone: %w", err)
+		}
+		if err := cf.Sync(); err != nil {
+			return fmt.Errorf("sync clone doc: %w", err)
+		}
+		// Diverge the main line too; its content is ambiguous until the
+		// next checkpoint, so drop the expectation first.
+		delete(exp.main, "doc")
+		mf, err := s.Open("doc", naming.Root)
+		if err != nil {
+			return fmt.Errorf("open main doc: %w", err)
+		}
+		mainDoc := append([]byte{}, cur["doc"]...)
+		copy(mainDoc[BlockSize:], pattern("main-diverge", BlockSize))
+		if _, err := mf.WriteAt(mainDoc[BlockSize:2*BlockSize], BlockSize); err != nil {
+			return fmt.Errorf("diverge main: %w", err)
+		}
+		if err := mf.Sync(); err != nil {
+			return fmt.Errorf("sync main doc: %w", err)
+		}
+		cur["doc"] = mainDoc
+		if err := put("doc2", 700); err != nil {
+			return err
+		}
+		if err := checkpoint(); err != nil {
+			return err
+		}
+		exp.clones["c1"]["doc"] = cloneDoc
+		// Phase 4: seal the diverged main line as s2.
+		if err := s.Snapshot("s2"); err != nil {
+			return err
+		}
+		exp.snaps["s2"] = snapCur()
+		// Phase 5: unlink on main; s2 must keep the file.
+		delete(cur, "aux")
+		delete(exp.main, "aux")
+		if err := s.Remove("aux", naming.Root); err != nil {
+			return fmt.Errorf("remove aux: %w", err)
+		}
+		return checkpoint()
+	}()
+	return exp, err
+}
+
+// verifySnapCrash checks the recovered stack against the acknowledged
+// expectations.
+func verifySnapCrash(t *testing.T, n int64, s *SnapFS, exp *snapCrashExpect) {
+	t.Helper()
+	ctx := fmt.Sprintf("crash point %d", n)
+
+	// Snapshot set: monotone prefix of the order taken, and everything
+	// acknowledged must be present.
+	order := []string{"s1", "s2"}
+	snaps, err := s.Snapshots()
+	if err != nil {
+		t.Fatalf("%s: snapshots: %v", ctx, err)
+	}
+	if len(snaps) > len(order) {
+		t.Fatalf("%s: unexpected snapshots %v", ctx, snaps)
+	}
+	for i, name := range snaps {
+		if order[i] != name {
+			t.Fatalf("%s: snapshot set %v is not a prefix of %v", ctx, snaps, order)
+		}
+	}
+	present := map[string]bool{}
+	for _, name := range snaps {
+		present[name] = true
+	}
+	for name := range exp.snaps {
+		if !present[name] {
+			t.Fatalf("%s: acknowledged snapshot %q missing after recovery (have %v)", ctx, name, snaps)
+		}
+	}
+	clones, err := s.Clones()
+	if err != nil {
+		t.Fatalf("%s: clones: %v", ctx, err)
+	}
+	clonePresent := map[string]bool{}
+	for _, name := range clones {
+		clonePresent[name] = true
+	}
+	for name := range exp.clones {
+		if !clonePresent[name] {
+			t.Fatalf("%s: acknowledged clone %q missing after recovery (have %v)", ctx, name, clones)
+		}
+	}
+
+	// Contents, per view.
+	for path, want := range exp.main {
+		if got := readFile(t, s, path); !bytes.Equal(got, want) {
+			t.Fatalf("%s: main %s corrupted after recovery (%d bytes, want %d)", ctx, path, len(got), len(want))
+		}
+	}
+	for name, files := range exp.snaps {
+		view, err := s.SnapshotView(name)
+		if err != nil {
+			t.Fatalf("%s: snapshot view %s: %v", ctx, name, err)
+		}
+		for path, want := range files {
+			if got := readFile(t, view, path); !bytes.Equal(got, want) {
+				t.Fatalf("%s: snapshot %s file %s corrupted after recovery", ctx, name, path)
+			}
+		}
+	}
+	for name, files := range exp.clones {
+		view, err := s.CloneView(name)
+		if err != nil {
+			t.Fatalf("%s: clone view %s: %v", ctx, name, err)
+		}
+		for path, want := range files {
+			if got := readFile(t, view, path); !bytes.Equal(got, want) {
+				t.Fatalf("%s: clone %s file %s corrupted after recovery", ctx, name, path)
+			}
+		}
+	}
+}
+
+// runSnapCrashPoint runs the workload with the power-cut trap armed at
+// write index n (n < 0 runs crash-free) and verifies recovery.
+func runSnapCrashPoint(t *testing.T, n, seed int64) int64 {
+	t.Helper()
+	inner := blockdev.NewMem(8192, blockdev.ProfileNone)
+	if err := disklayer.Mkfs(inner, disklayer.MkfsOptions{}); err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	crash := blockdev.NewCrash(inner, seed)
+
+	s := snapCrashStack(t, crash, fmt.Sprintf("w%d", n))
+	if n >= 0 {
+		crash.CrashAfterN(n)
+	}
+	exp, werr := snapCrashWorkload(s)
+	writes := crash.WriteCount()
+	if n < 0 {
+		if werr != nil {
+			t.Fatalf("crash-free workload failed: %v", werr)
+		}
+	} else if werr != nil && !errors.Is(werr, blockdev.ErrPowerCut) {
+		t.Fatalf("crash point %d: workload error is not a power cut: %v", n, werr)
+	} else if werr == nil {
+		_ = crash.PowerCut()
+	}
+	crash.Restart()
+
+	rep, err := disklayer.Check(crash, false)
+	if err != nil {
+		t.Fatalf("crash point %d: fsck error: %v", n, err)
+	}
+	if !rep.Clean {
+		t.Fatalf("crash point %d: fsck not clean:\n%s", n, rep)
+	}
+
+	recovered := snapCrashStack(t, crash, fmt.Sprintf("r%d", n))
+	verifySnapCrash(t, n, recovered, exp)
+	return writes
+}
+
+// TestSnapCrashSweep cuts the power at every buffered-write index of the
+// snapshot workload (a stride of the indexes under -short).
+func TestSnapCrashSweep(t *testing.T) {
+	total := runSnapCrashPoint(t, -1, 1)
+	if total < 50 {
+		t.Fatalf("workload only buffered %d writes; sweep too thin", total)
+	}
+	stride := int64(1)
+	if testing.Short() {
+		stride = 16
+	}
+	points := 0
+	for n := int64(1); n <= total; n += stride {
+		runSnapCrashPoint(t, n, 1000+n)
+		points++
+	}
+	t.Logf("swept %d crash points over %d total writes", points, total)
+}

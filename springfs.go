@@ -47,6 +47,7 @@ import (
 	"springfs/internal/mirrorfs"
 	"springfs/internal/naming"
 	"springfs/internal/netsim"
+	"springfs/internal/snapfs"
 	"springfs/internal/spring"
 	"springfs/internal/stats"
 	"springfs/internal/unixapi"
@@ -94,6 +95,14 @@ type (
 	DFSClientFS = dfs.ClientFS
 	// CFS is the attribute-caching interposing file system.
 	CFS = cfs.CFS
+	// SnapFS is the copy-on-write snapshot/clone layer.
+	SnapFS = snapfs.SnapFS
+	// SnapView is one snapshot (read-only) or clone (writable) view over
+	// a SnapFS store.
+	SnapView = snapfs.SnapView
+
+	// SnapDiffEntry is one path that differs between two snapfs epochs.
+	SnapDiffEntry = snapfs.DiffEntry
 	// WatchdogHooks intercept individual file operations (Section 5).
 	WatchdogHooks = interpose.Hooks
 	// LatencyProfile models block device timing.
@@ -172,6 +181,7 @@ func NewNode(name string) *Node {
 	must(fsys.RegisterCreator(n.root, "compfs_creator", compfs.NewCreator(layerDomain), Root))
 	must(fsys.RegisterCreator(n.root, "cryptfs_creator", cryptfs.NewCreator(layerDomain), Root))
 	must(fsys.RegisterCreator(n.root, "mirrorfs_creator", mirrorfs.NewCreator(layerDomain), Root))
+	must(fsys.RegisterCreator(n.root, "snapfs_creator", snapfs.NewCreator(layerDomain), Root))
 	must(fsys.RegisterCreator(n.root, "dfs_creator", dfs.NewCreator(layerDomain, Root), Root))
 	return n
 }
@@ -385,6 +395,12 @@ func (n *Node) NewCryptFS(name, passphrase string) (*cryptfs.CryptFS, error) {
 // underlying file systems).
 func (n *Node) NewMirrorFS(name string) *mirrorfs.MirrorFS {
 	return mirrorfs.New(n.NewDomain(name), name)
+}
+
+// NewSnapFS creates a copy-on-write snapshot/clone layer instance (stack
+// it on any file system; see docs/SNAPSHOTS.md).
+func (n *Node) NewSnapFS(name string) *snapfs.SnapFS {
+	return snapfs.New(n.NewDomain(name), name)
 }
 
 // ServeDFS creates a DFS server stacked on under and starts serving

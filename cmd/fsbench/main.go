@@ -15,6 +15,7 @@
 //	fsbench -metaops           # metadata txn throughput under group commit
 //	fsbench -stream            # streaming reads: read-ahead + extent layout
 //	fsbench -snap              # snapshot latency + clone cold-read overhead
+//	fsbench -stripe 8          # striping aggregate bandwidth over 1..8 servers
 //	fsbench -soak 60s          # trace-driven soak over DFS: network faults,
 //	                           # power cuts, fsck + byte-identical verification
 //	                           # (-soak-clients, -soak-crashes, -soak-drop,
@@ -60,6 +61,7 @@ func main() {
 		metaops  = flag.Bool("metaops", false, "measure metadata transaction throughput under group commit (1..16 goroutines)")
 		stream   = flag.Bool("stream", false, "measure streaming-read throughput (adaptive read-ahead + extent allocation) against raw device bandwidth")
 		snapF    = flag.Bool("snap", false, "measure snapshot latency across data sizes and clone cold-read overhead vs a plain stack")
+		stripeN  = flag.Int("stripe", 0, "measure striping aggregate-bandwidth scaling over 1..N DFS servers (e.g. -stripe 8)")
 		iters    = flag.Int("iters", 5000, "iterations per cached row")
 		disk1993 = flag.Bool("disk1993", false, "use the full 1993 disk latency model (slow)")
 		withStat = flag.Bool("stats", false, "append per-layer latency breakdowns (histograms and a captured trace) to the table output")
@@ -75,7 +77,7 @@ func main() {
 		soakSeed    = flag.Int64("soak-seed", 1, "soak determinism seed")
 	)
 	flag.Parse()
-	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*metaops && !*stream && !*snapF && *soakDur == 0 && !*all {
+	if !*table2 && !*table3 && !*figures && !*macro && !*wback && !*journal && !*recovery && *parallN == 0 && !*metaops && !*stream && !*snapF && *stripeN == 0 && *soakDur == 0 && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -150,6 +152,15 @@ func main() {
 	if *snapF || *all {
 		if err := runSnap(latency); err != nil {
 			fail("snap", err)
+		}
+	}
+	if *stripeN > 0 || *all {
+		n := *stripeN
+		if n == 0 {
+			n = 4
+		}
+		if err := runStripe(n); err != nil {
+			fail("stripe", err)
 		}
 	}
 	if *soakDur > 0 {

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"springfs"
+)
+
+// Striping benchmark parameters. The network, not the (instant) simulated
+// disks, is the bottleneck: netsim charges each connection its own
+// transmission time, so K server links offer K times the aggregate
+// bandwidth — exactly the resource striping is supposed to harvest.
+const (
+	stripeBenchStripe = 128 << 10 // stripe width
+	stripeBenchFile   = 8 << 20   // benchmark file size
+	stripeBenchChunk  = 1 << 20   // sequential call size: 8 stripes per call
+	stripeBenchBps    = 16 << 20  // per-link bandwidth (bytes/second)
+)
+
+// runStripe measures aggregate-bandwidth scaling of the striping layer as
+// data servers are added (1, 2, 4, ... up to maxServers). Each topology is
+// one client striping over K DFS servers, every server behind its own
+// bandwidth-limited link. A sequential stream issues stripe-spanning reads
+// that the layer fans out across servers in parallel; a 16-goroutine random
+// workload drives all links at once from independent callers.
+func runStripe(maxServers int) error {
+	fmt.Println("== STRIPEFS: aggregate bandwidth vs data servers ==")
+	fmt.Printf("(per-link %d MiB/s, stripe %d KiB, file %d MiB, seq calls of %d KiB, GOMAXPROCS=%d)\n\n",
+		stripeBenchBps>>20, stripeBenchStripe>>10, stripeBenchFile>>20, stripeBenchChunk>>10, runtime.GOMAXPROCS(0))
+
+	type row struct {
+		k        int
+		seq, rnd float64
+	}
+	var rows []row
+	for _, k := range []int{1, 2, 4, 8} {
+		if k > maxServers {
+			break
+		}
+		seq, rnd, err := stripeBenchTopology(k)
+		if err != nil {
+			return fmt.Errorf("topology %d servers: %w", k, err)
+		}
+		rows = append(rows, row{k, seq, rnd})
+	}
+
+	fmt.Printf("  %-8s  %16s  %9s  %16s  %9s\n", "servers", "seq stream MB/s", "speedup", "random 16g MB/s", "speedup")
+	for _, r := range rows {
+		fmt.Printf("  %-8d  %16.1f  %8.1fx  %16.1f  %8.1fx\n",
+			r.k, r.seq, r.seq/rows[0].seq, r.rnd, r.rnd/rows[0].rnd)
+	}
+	fmt.Println()
+
+	var at4 *row
+	for i := range rows {
+		if rows[i].k == 4 {
+			at4 = &rows[i]
+		}
+	}
+	switch {
+	case at4 == nil:
+		fmt.Printf("[SKIP] scaling check needs at least 4 servers (ran up to %d; use -stripe 4)\n", rows[len(rows)-1].k)
+	case runtime.GOMAXPROCS(0) < 4:
+		fmt.Printf("[SKIP] scaling check needs GOMAXPROCS >= 4 (have %d): fan-out workers cannot run in parallel\n",
+			runtime.GOMAXPROCS(0))
+	default:
+		seqUp := at4.seq / rows[0].seq
+		rndUp := at4.rnd / rows[0].rnd
+		check(fmt.Sprintf("sequential stream scales >= 2x from 1 to 4 servers (%.1fx)", seqUp), seqUp >= 2)
+		check(fmt.Sprintf("random 16-goroutine load scales >= 2x from 1 to 4 servers (%.1fx)", rndUp), rndUp >= 2)
+	}
+	fmt.Println()
+	return nil
+}
+
+// stripeBenchTopology builds one client striping over k DFS servers and
+// returns sequential and random aggregate throughput in MB/s.
+func stripeBenchTopology(k int) (seqMBs, rndMBs float64, err error) {
+	client := springfs.NewNode(fmt.Sprintf("stripebench%d-client", k))
+	defer client.Stop()
+	var servers []*springfs.Node
+	defer func() {
+		for _, s := range servers {
+			s.Stop()
+		}
+	}()
+	meta, err := client.NewSFS("meta", springfs.DiskOptions{Blocks: 4096})
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := client.NewStripeFS("stripe", stripeBenchStripe)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := st.StackOn(meta.FS()); err != nil {
+		return 0, 0, err
+	}
+	profile := springfs.NetProfile{BytesPerSecond: stripeBenchBps}
+	for i := 0; i < k; i++ {
+		srv := springfs.NewNode(fmt.Sprintf("stripebench%d-srv%d", k, i))
+		servers = append(servers, srv)
+		sfs, err := srv.NewSFS("sfs", springfs.DiskOptions{Blocks: 8192})
+		if err != nil {
+			return 0, 0, err
+		}
+		network := springfs.NewNetwork(profile)
+		addr := fmt.Sprintf("srv%d:dfs", i)
+		l, err := network.Listen(addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := srv.ServeDFS("dfs", sfs.FS(), l); err != nil {
+			return 0, 0, err
+		}
+		conn, err := network.Dial(addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		dc := client.DialDFS(conn, fmt.Sprintf("dfsc%d", i))
+		if err := st.StackOn(springfs.NewDFSClientFS(dc, fmt.Sprintf("data%d", i))); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	payload := make([]byte, stripeBenchFile)
+	for i := range payload {
+		payload[i] = byte(i >> 12)
+	}
+	if err := springfs.WriteFile(st, "stream.bin", payload); err != nil {
+		return 0, 0, err
+	}
+	f, err := st.Open("stream.bin", springfs.Root)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Sequential stream, best of 2: every call spans 8 stripes, so the
+	// layer fans each call out over min(8, k) server links at once.
+	seqPass := func() (float64, error) {
+		buf := make([]byte, stripeBenchChunk)
+		start := time.Now()
+		for off := int64(0); off < stripeBenchFile; off += stripeBenchChunk {
+			if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+				return 0, err
+			}
+		}
+		return float64(stripeBenchFile) / 1e6 / time.Since(start).Seconds(), nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		mbs, err := seqPass()
+		if err != nil {
+			return 0, 0, err
+		}
+		if mbs > seqMBs {
+			seqMBs = mbs
+		}
+	}
+
+	// Random load: 16 goroutines each read 8 stripe-sized extents at
+	// stripe-aligned offsets, so independent callers hit all servers.
+	const goroutines, readsPer = 16, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			buf := make([]byte, stripeBenchStripe)
+			for i := 0; i < readsPer; i++ {
+				off := int64(rng.Intn(stripeBenchFile/stripeBenchStripe)) * stripeBenchStripe
+				if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, 0, err
+	}
+	rndMBs = float64(goroutines*readsPer*stripeBenchStripe) / 1e6 / time.Since(start).Seconds()
+	return seqMBs, rndMBs, nil
+}

@@ -56,7 +56,7 @@ func execute(node *springfs.Node, line string) (quit bool) {
   stack <creator> <name> <under...>     create a layer and stack it (Section 4.4)
                                         creators: coherency_creator compfs_creator
                                         cryptfs_creator mirrorfs_creator dfs_creator
-                                        snapfs_creator
+                                        snapfs_creator stripefs_creator
   creators                              list registered creators
   ls [path]                             list a context
   write <path> <text...>                create/overwrite a file
@@ -70,6 +70,8 @@ func execute(node *springfs.Node, line string) (quit bool) {
   clone <fs-path> <snapshot> <name>     writable COW clone of a snapshot, bound at /<name>
   snapdiff <fs-path> <a> <b>            paths differing between two epochs
                                         (a, b: snapshot/clone names or "current")
+  stripe <fs-path>                      show a striping layer's configuration
+                                        and per-server health
   fsck <sfs-name> [-repair]             audit an SFS disk image (and repair it)
   watch <path> audit|readonly           interpose a watchdog on one file (Sec. 5)
   stats [reset]                         show (or zero) counters and latency histograms
@@ -429,6 +431,31 @@ func execute(node *springfs.Node, line string) (quit bool) {
 		}
 		for _, e := range entries {
 			fmt.Printf("  %-12s %s\n", e.Status, e.Path)
+		}
+	case "stripe":
+		if len(args) != 2 {
+			fmt.Println("usage: stripe <fs-path>")
+			return
+		}
+		obj, err := node.Root().Resolve(args[1], springfs.Root)
+		if err != nil {
+			fail(err)
+			return
+		}
+		striped, ok := obj.(interface{ StripeStatus() springfs.StripeStatus })
+		if !ok {
+			fmt.Printf("error: %s is not a striping layer (stack stripefs_creator on it)\n", args[1])
+			return
+		}
+		st := striped.StripeStatus()
+		fmt.Printf("stripe size %d KiB, fan-out workers %d, metadata on %s\n",
+			st.StripeSize>>10, st.Workers, st.Meta)
+		for i, srv := range st.Servers {
+			health := "healthy"
+			if !srv.Healthy {
+				health = "DEGRADED"
+			}
+			fmt.Printf("  server %d  %-12s  %s\n", i, srv.Name, health)
 		}
 	case "sync":
 		if len(args) != 2 {

@@ -275,3 +275,62 @@ func TestStatsShowDFSFailureCounters(t *testing.T) {
 		}
 	}
 }
+
+func TestScriptedStripeSession(t *testing.T) {
+	node := drive(t,
+		"newsfs meta",
+		"newsfs data0",
+		"newsfs data1",
+		"newsfs data2",
+		"stack stripefs_creator wide fs/meta fs/data0 fs/data1 fs/data2 stripe_size=131072",
+		"write wide/hello.txt hello striped world",
+		"cat wide/hello.txt",
+		"stripe wide",
+		"stripe fs/meta", // not a striping layer: prints the error, keeps going
+	)
+	fs := mustFS(t, node, "wide")
+	got, err := springfs.ReadFile(fs, "hello.txt")
+	if err != nil || string(got) != "hello striped world" {
+		t.Errorf("striped read = %q, %v", got, err)
+	}
+	obj, err := node.Root().Resolve("wide", springfs.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, ok := obj.(interface{ StripeStatus() springfs.StripeStatus })
+	if !ok {
+		t.Fatal("wide does not expose StripeStatus")
+	}
+	st := striped.StripeStatus()
+	if st.StripeSize != 131072 {
+		t.Errorf("stripe size = %d, want 131072", st.StripeSize)
+	}
+	if len(st.Servers) != 3 {
+		t.Fatalf("servers = %d, want 3", len(st.Servers))
+	}
+	for i, srv := range st.Servers {
+		if !srv.Healthy {
+			t.Errorf("server %d (%s) reports unhealthy", i, srv.Name)
+		}
+	}
+}
+
+func TestStatsShowStripeCounters(t *testing.T) {
+	// The stripefs counters are registered eagerly at package init, so
+	// `stats` lists them (at zero) even before any striping layer exists.
+	drive(t, "newsfs sfs0a", "stats")
+	out := stats.Default.String()
+	for _, name := range []string{
+		"stripe.layout.commits",
+		"stripe.objects.created",
+		"stripe.fanout.ops",
+		"stripe.fanout.calls",
+		"stripe.fanout.wide",
+		"stripe.degraded",
+		"stripe.swept",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("stats output missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -554,18 +554,43 @@ func (f *cohFile) lengthNoPoll() (vm.Offset, error) {
 	return attrs.Length, nil
 }
 
-// SetLength implements vm.MemoryObject; the new length is cached and
-// written back on flush (attribute write-behind).
+// SetLength implements vm.MemoryObject. An extension is cached and written
+// back on flush (attribute write-behind), but a shrink is written through:
+// the dropped bytes logically become zeros now, and only the layer that
+// owns the storage can clear them — it zeroes the straddling block and
+// purges the vacated range, and that purge propagates back up through this
+// layer's lower cache object, discarding the stale blocks cached here and
+// in every client above.
 func (f *cohFile) SetLength(length vm.Offset) error {
 	attrs, err := f.cachedAttrs()
 	if err != nil {
 		return err
 	}
+	old := attrs.Length
 	attrs.Length = length
 	attrs.ModifyTime = time.Now()
 	f.attrs.Update(attrs)
 	f.invalidateUpperAttrs(nil)
+	if length < old {
+		return f.pushShrink(attrs, old)
+	}
 	return nil
+}
+
+// pushShrink writes a truncation through to the lower layer. The length is
+// normally write-behind, so the lower layer may never have seen the file's
+// current extent — push that first, or the lower layer would read the
+// shrink as an extension and clear nothing. The shrink that follows makes
+// the storage-owning layer zero the straddling block and purge the vacated
+// range, revocations that propagate back up through this layer's lower
+// cache object to this layer's block cache and every client above it.
+func (f *cohFile) pushShrink(attrs fsys.Attributes, old vm.Offset) error {
+	grown := attrs
+	grown.Length = old
+	if err := f.pushLowerAttrs(grown); err != nil {
+		return err
+	}
+	return f.pushLowerAttrs(attrs)
 }
 
 // SetReadAhead enables read-ahead on the file's server-side mapping: each
@@ -808,10 +833,18 @@ func (p *cohPager) GetAttributes() (fsys.Attributes, error) {
 }
 
 // SetAttributes implements fsys.FsPagerObject (attribute write-behind).
-// Peers' attribute caches are invalidated so they refetch.
+// Peers' attribute caches are invalidated so they refetch. A shrink is
+// written through to the storage-owning layer, like cohFile.SetLength.
 func (p *cohPager) SetAttributes(attrs fsys.Attributes) error {
+	old, err := p.file.cachedAttrs()
+	if err != nil {
+		return err
+	}
 	p.file.attrs.Update(attrs)
 	p.file.invalidateUpperAttrs(p.conn)
+	if attrs.Length < old.Length {
+		return p.file.pushShrink(attrs, old.Length)
+	}
 	return nil
 }
 

@@ -465,9 +465,28 @@ func (f *compFile) GetLength() (vm.Offset, error) {
 	return f.tbl.uncompLen, nil
 }
 
-// SetLength implements vm.MemoryObject.
+// SetLength implements vm.MemoryObject. On a shrink, whole blocks past the
+// new length are dropped, the tail of the straddling block is zeroed, and
+// cached pages past the new length are revoked — so a later regrow cannot
+// resurrect the truncated bytes.
 func (f *compFile) SetLength(length vm.Offset) error {
 	f.ensureBound()
+	cur, err := f.GetLength()
+	if err != nil {
+		return err
+	}
+	tail := length % BlockSize
+	blockOff := length - tail
+	var flushed []vm.Data
+	if length < cur {
+		// Cache call-outs cross domains: never under f.mu.
+		for _, c := range f.fs.table.ConnectionsFor(f.backing) {
+			if tail != 0 {
+				flushed = append(flushed, c.Cache.FlushBack(blockOff, BlockSize)...)
+			}
+			c.Cache.DeleteRange(blockOff, 1<<62)
+		}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if err := f.loadTableLocked(); err != nil {
@@ -477,6 +496,26 @@ func (f *compFile) SetLength(length vm.Offset) error {
 		for bn := range f.tbl.blocks {
 			if bn*BlockSize >= length {
 				delete(f.tbl.blocks, bn)
+			}
+		}
+		if tail != 0 {
+			_, live := f.tbl.blocks[length/BlockSize]
+			if live || len(flushed) > 0 {
+				blk, err := f.readBlockLocked(length / BlockSize)
+				if err != nil {
+					return err
+				}
+				for _, d := range flushed {
+					if d.Offset <= blockOff && blockOff+BlockSize <= d.Offset+vm.Offset(len(d.Bytes)) {
+						copy(blk, d.Bytes[blockOff-d.Offset:])
+					}
+				}
+				for i := tail; i < BlockSize; i++ {
+					blk[i] = 0
+				}
+				if err := f.writeBlockLocked(length/BlockSize, blk); err != nil {
+					return err
+				}
 			}
 		}
 	}

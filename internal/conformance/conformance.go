@@ -48,6 +48,7 @@ func Checks() []Check {
 		{"fd-offset", checkFDOffset},
 		{"open-flags", checkOpenFlags},
 		{"sparse", checkSparse},
+		{"trunc-reextend", checkTruncReextend},
 		{"rename-basic", checkRenameBasic},
 		{"rename-over", checkRenameOver},
 		{"rename-self", checkRenameSelf},
@@ -361,6 +362,69 @@ func checkSparse(s *Stack) error {
 		}
 	}
 	return p.Unlink("sparse.bin")
+}
+
+// checkTruncReextend: shrinking a file and then growing it again must not
+// resurrect the old bytes — the region between the shrink point and the new
+// length reads as zeros, whether the file is regrown by ftruncate or by a
+// write past EOF, and whether the shrink lands on a block boundary or
+// mid-block.
+func checkTruncReextend(s *Stack) error {
+	p, err := s.NewProcess()
+	if err != nil {
+		return err
+	}
+	old := pattern("reextend", 3*4096+77)
+	fd, err := p.Open("reextend.bin", unixapi.O_CREAT|unixapi.O_RDWR)
+	if err != nil {
+		return err
+	}
+	defer p.Close(fd)
+	if _, err := p.Pwrite(fd, old, 0); err != nil {
+		return err
+	}
+	// Shrink mid-block, then regrow past the original length by ftruncate.
+	const cut = 4096 + 100
+	if err := p.Ftruncate(fd, cut); err != nil {
+		return err
+	}
+	if err := p.Ftruncate(fd, int64(len(old))+4096); err != nil {
+		return err
+	}
+	buf := make([]byte, len(old)+4096-cut)
+	if _, err := p.Pread(fd, buf, cut); err != nil {
+		return err
+	}
+	for i, b := range buf {
+		if b != 0 {
+			return fmt.Errorf("ftruncate regrow: byte %d reads %#x, want 0", cut+i, b)
+		}
+	}
+	// The kept prefix is intact.
+	head := make([]byte, cut)
+	if _, err := p.Pread(fd, head, 0); err != nil {
+		return err
+	}
+	if !bytes.Equal(head, old[:cut]) {
+		return errors.New("ftruncate regrow corrupted the kept prefix")
+	}
+	// Shrink to zero, then regrow by a sparse write well past the old data.
+	if err := p.Ftruncate(fd, 0); err != nil {
+		return err
+	}
+	if _, err := p.Pwrite(fd, []byte{0xAA}, int64(len(old))); err != nil {
+		return err
+	}
+	buf = make([]byte, len(old))
+	if _, err := p.Pread(fd, buf, 0); err != nil {
+		return err
+	}
+	for i, b := range buf {
+		if b != 0 {
+			return fmt.Errorf("write regrow: byte %d reads %#x, want 0", i, b)
+		}
+	}
+	return p.Unlink("reextend.bin")
 }
 
 // checkRenameBasic: after a rename the old name is gone and the new name

@@ -13,7 +13,7 @@ import (
 
 // StackNames lists the shapes BuildStack knows, in the order the suite
 // normally runs them.
-var StackNames = []string{"disk", "sfs-compfs", "sfs-cryptfs", "mirror", "dfs-remote", "sfs-snapfs", "sfs-snapfs-clone"}
+var StackNames = []string{"disk", "sfs-compfs", "sfs-cryptfs", "mirror", "dfs-remote", "sfs-snapfs", "sfs-snapfs-clone", "sfs-stripe", "stripe-mirror"}
 
 // BuildStack assembles one named stack shape on fresh simulated hardware.
 func BuildStack(name string) (*Stack, error) {
@@ -32,6 +32,10 @@ func BuildStack(name string) (*Stack, error) {
 		return newSnapStack()
 	case "sfs-snapfs-clone":
 		return newSnapCloneStack()
+	case "sfs-stripe":
+		return newStripeStack()
+	case "stripe-mirror":
+		return newStripeMirrorStack()
 	}
 	return nil, fmt.Errorf("conformance: unknown stack shape %q", name)
 }
@@ -185,6 +189,101 @@ func newSnapCloneStack() (*Stack, error) {
 	return &Stack{
 		Name:       "sfs-snapfs-clone",
 		NewProcess: sharedProcs(clone),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newStripeStack: the striping layer over one metadata SFS and three data
+// SFS instances. The stripe is kept small (4 pages) so the suite's
+// ordinary file sizes straddle stripe and server boundaries.
+func newStripeStack() (*Stack, error) {
+	node := springfs.NewNode("conf-stripe")
+	meta, err := node.NewSFS("meta", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	stripe, err := node.NewStripeFS("stripe", 4*springfs.PageSize)
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := stripe.StackOn(meta.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		data, err := node.NewSFS(fmt.Sprintf("data%d", i), springfs.DiskOptions{Blocks: 8192})
+		if err != nil {
+			node.Stop()
+			return nil, err
+		}
+		if err := stripe.StackOn(data.FS()); err != nil {
+			node.Stop()
+			return nil, err
+		}
+	}
+	return &Stack{
+		Name:       "sfs-stripe",
+		NewProcess: sharedProcs(stripe),
+		Close:      node.Stop,
+	}, nil
+}
+
+// newStripeMirrorStack: striping where data server 0 is itself a mirroring
+// layer over two SFS instances — per-stripe failover below the striping
+// layer.
+func newStripeMirrorStack() (*Stack, error) {
+	node := springfs.NewNode("conf-stripe-mirror")
+	meta, err := node.NewSFS("meta", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	m1, err := node.NewSFS("m1", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	m2, err := node.NewSFS("m2", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	mirror := node.NewMirrorFS("mirror")
+	if err := mirror.StackOn(m1.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := mirror.StackOn(m2.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	data1, err := node.NewSFS("data1", springfs.DiskOptions{Blocks: 8192})
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	stripe, err := node.NewStripeFS("stripe", 4*springfs.PageSize)
+	if err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := stripe.StackOn(meta.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := stripe.StackOn(mirror); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	if err := stripe.StackOn(data1.FS()); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	return &Stack{
+		Name:       "stripe-mirror",
+		NewProcess: sharedProcs(stripe),
 		Close:      node.Stop,
 	}, nil
 }

@@ -339,6 +339,29 @@ func (f *cryptFile) writeBlock(bn int64, plain []byte) error {
 	return err
 }
 
+// sealTailLocked re-encrypts the block straddling the current end of file
+// so its tail holds ciphertext of zeros. The lower layer zero-fills bytes
+// past its end of file (holes, and a truncate's dropped tail) — correct
+// for the ciphertext volume, but those zeros are fill, not ciphertext, and
+// decrypting them yields garbage. Any operation about to expose bytes past
+// the current length (a truncate up, a write strictly past EOF) seals the
+// tail first, keeping the invariant that every lower byte inside the
+// logical length is real ciphertext. Caller holds f.mu.
+func (f *cryptFile) sealTailLocked(length vm.Offset) error {
+	if length%BlockSize == 0 {
+		return nil
+	}
+	bn := length / BlockSize
+	blk, err := f.readBlock(bn)
+	if err != nil {
+		return err
+	}
+	for i := length % BlockSize; i < BlockSize; i++ {
+		blk[i] = 0
+	}
+	return f.writeBlock(bn, blk)
+}
+
 // ReadAt implements fsys.File.
 func (f *cryptFile) ReadAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
@@ -380,6 +403,14 @@ func (f *cryptFile) WriteAt(p []byte, off int64) (int, error) {
 	prevLen, err := f.lower.GetLength()
 	if err != nil {
 		return 0, err
+	}
+	if off > prevLen {
+		// A sparse write strictly past EOF exposes the old tail without
+		// rewriting its block; seal it. (A write at or before EOF rewrites
+		// the straddling block itself.)
+		if err := f.sealTailLocked(prevLen); err != nil {
+			return 0, err
+		}
 	}
 	done := 0
 	for done < len(p) {
@@ -440,8 +471,23 @@ func (f *cryptFile) Bind(caller vm.CacheManager, access vm.Rights, offset, lengt
 // GetLength implements vm.MemoryObject.
 func (f *cryptFile) GetLength() (vm.Offset, error) { return f.lower.GetLength() }
 
-// SetLength implements vm.MemoryObject.
-func (f *cryptFile) SetLength(l vm.Offset) error { return f.lower.SetLength(l) }
+// SetLength implements vm.MemoryObject. An extension seals the straddling
+// block's tail first (see sealTailLocked) so the newly exposed bytes read
+// as zeros, not as a decryption of the lower layer's zero fill.
+func (f *cryptFile) SetLength(l vm.Offset) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old, err := f.lower.GetLength()
+	if err != nil {
+		return err
+	}
+	if l > old {
+		if err := f.sealTailLocked(old); err != nil {
+			return err
+		}
+	}
+	return f.lower.SetLength(l)
+}
 
 // cryptPager decrypts on page-in and encrypts on page-out.
 type cryptPager struct {
@@ -480,6 +526,13 @@ func (p *cryptPager) PageOut(offset, size vm.Offset, data []byte) error {
 	prevLen, err := p.file.lower.GetLength()
 	if err != nil {
 		return err
+	}
+	if offset > prevLen {
+		// A write-back strictly past EOF exposes the old tail without
+		// rewriting its block; seal it (see sealTailLocked).
+		if err := p.file.sealTailLocked(prevLen); err != nil {
+			return err
+		}
 	}
 	for bn := offset / BlockSize; bn*BlockSize < offset+size; bn++ {
 		if err := p.file.writeBlock(bn, data[bn*BlockSize-offset:(bn+1)*BlockSize-offset]); err != nil {

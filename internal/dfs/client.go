@@ -69,6 +69,13 @@ func (c *Client) Close() error {
 // the outer deadline has to outlive the inner one. Zero disables the bound.
 func (c *Client) SetCallTimeout(d time.Duration) { c.peer.setTimeout(d) }
 
+// SetCallByteRate sets the assumed link rate (bytes/second) used to scale a
+// call's deadline with its payload: a bulk transfer's deadline becomes
+// timeout + bytes/rate, so a multi-megabyte page-out over a slow link is
+// not killed by a deadline tuned for small ops (default
+// DefaultCallBytesPerSecond; zero disables the extension).
+func (c *Client) SetCallByteRate(bps int64) { c.peer.setByteRate(bps) }
+
 // call issues one protocol request.
 func (c *Client) call(op Op, payload []byte) ([]byte, error) {
 	c.RemoteCalls.Inc()

@@ -36,7 +36,12 @@ type remoteNode struct {
 
 func newRig(t *testing.T) *rig {
 	t.Helper()
-	network := netsim.New(netsim.ProfileNone)
+	return newRigWithProfile(t, netsim.ProfileNone)
+}
+
+func newRigWithProfile(t *testing.T, profile netsim.Profile) *rig {
+	t.Helper()
+	network := netsim.New(profile)
 	homeNode := spring.NewNode("home")
 	t.Cleanup(homeNode.Stop)
 	homeVMM := vm.New(spring.NewDomain(homeNode, "vmm"), "home-vmm")

@@ -27,6 +27,12 @@ const (
 	DefaultCallTimeout = 5 * time.Second
 	// DefaultCallbackTimeout bounds server-to-client coherency callbacks.
 	DefaultCallbackTimeout = 2 * time.Second
+	// DefaultCallBytesPerSecond is the assumed link rate used to scale a
+	// call's deadline with its payload: a 4 MiB page-out extent over a slow
+	// link legitimately takes longer than a lookup, and a flat deadline
+	// either wedges bulk transfers or is uselessly loose for small ops.
+	// SetCallByteRate tunes it per connection.
+	DefaultCallBytesPerSecond = 64 << 20
 	// maxAttempts is the total number of tries for an idempotent op
 	// (1 initial + 2 retries).
 	maxAttempts = 3
@@ -71,10 +77,18 @@ type peer struct {
 	// timeout bounds each call round trip, in nanoseconds (atomic so
 	// SetCallTimeout races cleanly with in-flight calls). Zero disables.
 	timeout atomic.Int64
+
+	// byteRate is the assumed link rate in bytes/second used to extend the
+	// deadline of bulk-transfer ops in proportion to their payload. Zero
+	// disables the extension (the flat timeout alone applies).
+	byteRate atomic.Int64
 }
 
 // setTimeout installs the per-call deadline.
 func (p *peer) setTimeout(d time.Duration) { p.timeout.Store(int64(d)) }
+
+// setByteRate installs the assumed link rate for deadline scaling.
+func (p *peer) setByteRate(bps int64) { p.byteRate.Store(bps) }
 
 // isClosed reports whether the connection has torn down.
 func (p *peer) isClosed() bool {
@@ -98,6 +112,7 @@ func newPeer(conn net.Conn, handler func(op Op, payload []byte) ([]byte, error),
 		p.boundary = stats.BoundaryNetsim
 	}
 	p.setTimeout(DefaultCallTimeout)
+	p.setByteRate(DefaultCallBytesPerSecond)
 	go p.readLoop()
 	return p
 }
@@ -228,6 +243,11 @@ func (p *peer) call(op Op, payload []byte) ([]byte, error) {
 // small backoff sleeps — comfortably inside twice the configured value.
 func (p *peer) callWithRetry(op Op, payload []byte) ([]byte, error) {
 	total := time.Duration(p.timeout.Load())
+	if rate := p.byteRate.Load(); total > 0 && rate > 0 {
+		if bytes := transferBytes(op, payload); bytes > 0 {
+			total += time.Duration(bytes * int64(time.Second) / rate)
+		}
+	}
 	attempts := 1
 	if op.Idempotent() {
 		attempts = maxAttempts
@@ -256,6 +276,27 @@ func (p *peer) callWithRetry(op Op, payload []byte) ([]byte, error) {
 		}
 	}
 	return nil, err
+}
+
+// transferBytes estimates how much data an op moves over the wire, from its
+// request payload alone. Outbound bulk ops carry the data in the request;
+// inbound bulk ops declare the requested size in fixed header fields (see
+// the client-side encoders: OpRead is id/off/len, OpPageIn is
+// id/offset/minSize/maxSize/access). Ops that move no bulk data return 0.
+func transferBytes(op Op, payload []byte) int64 {
+	switch op {
+	case OpWrite, OpAppend, OpPageOut:
+		return int64(len(payload))
+	case OpPageIn:
+		if len(payload) >= 32 {
+			return int64(binary.BigEndian.Uint64(payload[24:32]))
+		}
+	case OpRead:
+		if len(payload) >= 20 {
+			return int64(binary.BigEndian.Uint32(payload[16:20]))
+		}
+	}
+	return 0
 }
 
 // errUnavailable tags transport-level failures so layers above (mirrorfs,

@@ -74,8 +74,18 @@ func (f *diskFile) GetLength() (vm.Offset, error) {
 
 // SetLength implements vm.MemoryObject. A shrink frees blocks, which is a
 // journaled metadata mutation; the wholly-vacated cached pages are purged
-// (outside the lock) so a later re-extension reads zeros, not the old tail.
+// (outside the lock) and the straddling block's dropped tail is zeroed, so
+// a later re-extension reads zeros, not the old data.
 func (f *diskFile) SetLength(length vm.Offset) error {
+	cur, err := f.GetLength()
+	if err != nil {
+		return err
+	}
+	if length < cur {
+		if err := f.zeroTail(length); err != nil {
+			return err
+		}
+	}
 	shrunk := false
 	defer func() {
 		if shrunk {
@@ -99,6 +109,60 @@ func (f *diskFile) SetLength(length vm.Offset) error {
 	ci.in.mtime = f.fs.now()
 	ci.dirty = true
 	return nil
+}
+
+// zeroTail clears the dropped bytes of the block that straddles a shrink's
+// new end-of-file. Wholly-vacated blocks are freed by the truncate and read
+// back as holes, but the straddling block survives with its tail bytes
+// intact — on the device and in any cache above — and a later re-extension
+// would expose them as file content. The straddling page is pulled out of
+// every cache (FlushBack reconciles modified data and propagates the
+// removal up through stacked coherency layers), the reconciled block is
+// zeroed past the new length, and the result written back; later faults
+// re-read the cleaned block.
+//
+// Must be called without fs.mu held: the cache call-outs cross domains and
+// the write-back takes the lock itself.
+func (f *diskFile) zeroTail(length vm.Offset) error {
+	tail := length % BlockSize
+	if tail == 0 {
+		return nil
+	}
+	blockOff := length - tail
+	var flushed []vm.Data
+	for _, c := range f.fs.table.ConnectionsFor(f.ino) {
+		flushed = append(flushed, c.Cache.FlushBack(blockOff, BlockSize)...)
+	}
+	f.fs.mu.Lock()
+	ci, err := f.fs.readInode(f.ino)
+	if err != nil {
+		f.fs.mu.Unlock()
+		return err
+	}
+	bn, err := f.fs.bmap(ci, blockOff/BlockSize, false)
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if bn == 0 && len(flushed) == 0 {
+		return nil // a hole: already reads as zeros
+	}
+	buf := make([]byte, BlockSize)
+	if bn != 0 {
+		if err := f.fs.dev.ReadBlock(bn, buf); err != nil {
+			return err
+		}
+	}
+	for _, d := range flushed {
+		if d.Offset <= blockOff && blockOff+BlockSize <= d.Offset+vm.Offset(len(d.Bytes)) {
+			copy(buf, d.Bytes[blockOff-d.Offset:])
+		}
+	}
+	for i := tail; i < BlockSize; i++ {
+		buf[i] = 0
+	}
+	p := &diskPager{file: f}
+	return p.PageOut(blockOff, BlockSize, buf)
 }
 
 // ReadAt implements fsys.File.
@@ -545,6 +609,11 @@ func (p *diskPager) GetAttributes() (fsys.Attributes, error) {
 
 // SetAttributes implements fsys.FsPagerObject.
 func (p *diskPager) SetAttributes(attrs fsys.Attributes) error {
+	if cur, err := p.file.GetLength(); err == nil && attrs.Length < cur {
+		if err := p.file.zeroTail(attrs.Length); err != nil {
+			return err
+		}
+	}
 	fs := p.file.fs
 	shrunk := false
 	defer func() {

@@ -1,0 +1,66 @@
+package disklayer
+
+import (
+	"testing"
+
+	"springfs/internal/blockdev"
+	"springfs/internal/naming"
+	"springfs/internal/spring"
+	"springfs/internal/vm"
+)
+
+// TestDiskTruncateThenExtendReadsZeros pins the truncate semantics of the
+// raw disk layer: shrinking a file must clear the freed bytes — including
+// the tail of a partially-kept block — so that a later extension reads
+// zeros instead of resurrecting the old data.
+func TestDiskTruncateThenExtendReadsZeros(t *testing.T) {
+	node := spring.NewNode("trunc")
+	defer node.Stop()
+	dev := blockdev.NewMem(4096, blockdev.ProfileNone)
+	if err := Mkfs(dev, MkfsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	vmm := vm.New(spring.NewDomain(node, "vmm"), "vmm")
+	fs, err := Mount(dev, spring.NewDomain(node, "disk"), vmm, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("x", naming.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{83}, 0); err != nil {
+		t.Fatal(err)
+	}
+	df := f.(*diskFile)
+	if err := df.SetLength(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{1}, BlockSize+17); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatalf("stale byte: %d", buf[0])
+	}
+	// Mid-block shrink: tail must be zeroed too.
+	if _, err := f.WriteAt([]byte{7, 7, 7, 7}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.SetLength(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{9}, BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 7 || got[2] != 0 || got[3] != 0 {
+		t.Fatalf("after mid-block shrink+extend: %v", got)
+	}
+}

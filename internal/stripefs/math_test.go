@@ -1,0 +1,129 @@
+package stripefs
+
+import (
+	"testing"
+
+	"springfs/internal/vm"
+)
+
+// TestStripingMathRoundTrip checks the core RAID-0 identities for a range
+// of stripe widths and server counts: objLenFor partitions the file length
+// exactly over the servers, and logicalEnd inverts it (the maximum derived
+// end over all servers is the file length).
+func TestStripingMathRoundTrip(t *testing.T) {
+	sizes := []int64{vm.PageSize, 2 * vm.PageSize, 16 * vm.PageSize}
+	for _, S := range sizes {
+		for K := 1; K <= 5; K++ {
+			l := layout{objID: 1, stripeSize: S, count: K}
+			lengths := []int64{0, 1, S - 1, S, S + 1, 2*S - 1, 2 * S, int64(K) * S, int64(K)*S + 1,
+				int64(K)*S - 1, 3*int64(K)*S + S/2, 7*S + 123}
+			for _, L := range lengths {
+				var sum, max int64
+				for k := 0; k < K; k++ {
+					ol := l.objLenFor(L, k)
+					if ol < 0 {
+						t.Fatalf("S=%d K=%d L=%d k=%d: negative object length %d", S, K, L, k, ol)
+					}
+					sum += ol
+					if end := l.logicalEnd(ol, k); end > max {
+						max = end
+					}
+					if end := l.logicalEnd(ol, k); end > L {
+						t.Fatalf("S=%d K=%d L=%d k=%d: derived end %d exceeds length", S, K, L, k, end)
+					}
+				}
+				if sum != L {
+					t.Fatalf("S=%d K=%d L=%d: object lengths sum to %d", S, K, L, sum)
+				}
+				if L > 0 && max != L {
+					t.Fatalf("S=%d K=%d L=%d: max derived end %d", S, K, L, max)
+				}
+				if L > 0 {
+					k := l.eofServer(L)
+					if ol := l.objLenFor(L, k); l.logicalEnd(ol, k) != L {
+						t.Fatalf("S=%d K=%d L=%d: EOF server %d does not own the EOF", S, K, L, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentsDecomposition checks that segments() tiles the requested
+// range exactly once, never crosses a stripe boundary, and that each
+// segment's (server, objOff) maps back to its logical position.
+func TestSegmentsDecomposition(t *testing.T) {
+	S := int64(vm.PageSize)
+	for K := 1; K <= 4; K++ {
+		l := layout{objID: 1, stripeSize: S, count: K}
+		ranges := []struct {
+			off int64
+			n   int
+		}{
+			{0, 1}, {0, int(S)}, {S - 1, 2}, {S, int(S)}, {S / 2, int(3 * S)},
+			{0, int(int64(K)*S + S/2)}, {int64(K)*S - 1, int(S) + 2}, {7 * S, 1},
+		}
+		for _, r := range ranges {
+			groups := l.segments(r.off, r.n)
+			if len(groups) != K {
+				t.Fatalf("K=%d: got %d groups", K, len(groups))
+			}
+			covered := make([]bool, r.n)
+			for k, segs := range groups {
+				for _, sg := range segs {
+					if sg.n <= 0 {
+						t.Fatalf("K=%d off=%d: empty segment", K, r.off)
+					}
+					if sg.objOff/S != (sg.objOff+int64(sg.n)-1)/S {
+						t.Fatalf("K=%d off=%d: segment crosses a stripe boundary", K, r.off)
+					}
+					sn := (sg.objOff/S)*int64(K) + int64(k)
+					logical := sn*S + sg.objOff%S
+					if logical != r.off+int64(sg.poff) {
+						t.Fatalf("K=%d off=%d: segment at poff %d maps to logical %d, want %d",
+							K, r.off, sg.poff, logical, r.off+int64(sg.poff))
+					}
+					for i := sg.poff; i < sg.poff+sg.n; i++ {
+						if covered[i] {
+							t.Fatalf("K=%d off=%d: byte %d covered twice", K, r.off, i)
+						}
+						covered[i] = true
+					}
+				}
+			}
+			for i, c := range covered {
+				if !c {
+					t.Fatalf("K=%d off=%d n=%d: byte %d not covered", K, r.off, r.n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLayoutEncoding round-trips the on-disk layout form and rejects
+// garbage.
+func TestLayoutEncoding(t *testing.T) {
+	l := layout{objID: 0xdeadbeefcafe, stripeSize: 4 * vm.PageSize, count: 7}
+	got, err := parseLayout(l.encode())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != l {
+		t.Fatalf("round trip: got %+v want %+v", got, l)
+	}
+	for _, bad := range []string{
+		"", "hello", "stripefs layout v1\n", layoutMagic + "\nobject zz\nstripe_size 4096\nstripe_count 2\n",
+		layoutMagic + "\nobject 01\nstripe_size 1000\nstripe_count 2\n", // size not page multiple
+		layoutMagic + "\nobject 01\nstripe_size 4096\nstripe_count 0\n",
+	} {
+		if _, err := parseLayout([]byte(bad)); err == nil {
+			t.Fatalf("parseLayout(%q) accepted garbage", bad)
+		}
+	}
+	if name := l.objName(); name != ".sobj-0000deadbeefcafe" {
+		t.Fatalf("objName: %q", name)
+	}
+	if id, ok := parseObjName(l.objName()); !ok || id != l.objID {
+		t.Fatalf("parseObjName failed: %x %v", id, ok)
+	}
+}

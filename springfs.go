@@ -50,6 +50,7 @@ import (
 	"springfs/internal/snapfs"
 	"springfs/internal/spring"
 	"springfs/internal/stats"
+	"springfs/internal/stripefs"
 	"springfs/internal/unixapi"
 	"springfs/internal/vm"
 )
@@ -103,6 +104,14 @@ type (
 
 	// SnapDiffEntry is one path that differs between two snapfs epochs.
 	SnapDiffEntry = snapfs.DiffEntry
+	// StripeFS is the parallel striping layer: RAID-0 over N data servers
+	// with the name space on a separate metadata FS (see docs/STRIPING.md).
+	StripeFS = stripefs.StripeFS
+	// StripeOptions configure a striping layer instance.
+	StripeOptions = stripefs.Options
+	// StripeStatus describes a striping layer's configuration and
+	// per-server health.
+	StripeStatus = stripefs.Status
 	// WatchdogHooks intercept individual file operations (Section 5).
 	WatchdogHooks = interpose.Hooks
 	// LatencyProfile models block device timing.
@@ -182,6 +191,7 @@ func NewNode(name string) *Node {
 	must(fsys.RegisterCreator(n.root, "cryptfs_creator", cryptfs.NewCreator(layerDomain), Root))
 	must(fsys.RegisterCreator(n.root, "mirrorfs_creator", mirrorfs.NewCreator(layerDomain), Root))
 	must(fsys.RegisterCreator(n.root, "snapfs_creator", snapfs.NewCreator(layerDomain), Root))
+	must(fsys.RegisterCreator(n.root, "stripefs_creator", stripefs.NewCreator(layerDomain), Root))
 	must(fsys.RegisterCreator(n.root, "dfs_creator", dfs.NewCreator(layerDomain, Root), Root))
 	return n
 }
@@ -401,6 +411,13 @@ func (n *Node) NewMirrorFS(name string) *mirrorfs.MirrorFS {
 // it on any file system; see docs/SNAPSHOTS.md).
 func (n *Node) NewSnapFS(name string) *snapfs.SnapFS {
 	return snapfs.New(n.NewDomain(name), name)
+}
+
+// NewStripeFS creates a parallel striping layer instance (stack it on one
+// metadata file system and then N data file systems, in that order; see
+// docs/STRIPING.md). A zero stripeSize selects the default stripe width.
+func (n *Node) NewStripeFS(name string, stripeSize int64) (*stripefs.StripeFS, error) {
+	return stripefs.New(n.NewDomain(name), name, stripefs.Options{StripeSize: stripeSize})
 }
 
 // ServeDFS creates a DFS server stacked on under and starts serving
